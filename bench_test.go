@@ -1,0 +1,147 @@
+// Benchmark harness: one benchmark per paper table/figure (regenerating the
+// artifact at quick scale per iteration; run with -scale via stretchsim for
+// the full versions), plus microbenchmarks of the simulator's hot paths.
+//
+//	go test -bench=. -benchmem
+package stretch
+
+import (
+	"testing"
+
+	"stretch/internal/branch"
+	"stretch/internal/cache"
+	"stretch/internal/core"
+	"stretch/internal/experiments"
+	"stretch/internal/queueing"
+	"stretch/internal/trace"
+	"stretch/internal/workload"
+)
+
+// benchCtx shares memoised grids across benchmark iterations so each bench
+// measures its own experiment's marginal work after the shared baselines
+// are built.
+var benchCtx = experiments.NewContext(experiments.Quick)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	n, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := benchCtx
+		if i > 0 {
+			// Re-run against a fresh context only when iterating, so
+			// b.N>1 measures the uncached cost.
+			ctx = experiments.NewContext(experiments.Quick)
+		}
+		if _, err := n.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Tables.
+func BenchmarkTable1QoSTargets(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2ProcessorConfig(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3Workloads(b *testing.B)       { benchExperiment(b, "table3") }
+
+// Characterisation figures (§II-III).
+func BenchmarkFig1LatencyVsLoad(b *testing.B)      { benchExperiment(b, "fig1") }
+func BenchmarkFig2SlackCurves(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3ColocationSlowdown(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig4ResourceSharing(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5ResourceSharingAll(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6ROBSensitivity(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7MLP(b *testing.B)                { benchExperiment(b, "fig7") }
+
+// Evaluation figures (§VI).
+func BenchmarkFig9SkewSweep(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig10BModeSpeedup(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11DynamicSharing(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12FetchThrottling(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13SoftwareScheduling(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14CaseStudies(b *testing.B)        { benchExperiment(b, "fig14") }
+
+// Design-choice ablations (DESIGN.md §6).
+func BenchmarkAblationLSQCoupling(b *testing.B)      { benchExperiment(b, "ablation-lsq") }
+func BenchmarkAblationMSHR(b *testing.B)             { benchExperiment(b, "ablation-mshr") }
+func BenchmarkAblationPrefetcher(b *testing.B)       { benchExperiment(b, "ablation-prefetch") }
+func BenchmarkAblationControllerSignal(b *testing.B) { benchExperiment(b, "ablation-signal") }
+func BenchmarkAblationFlushCost(b *testing.B)        { benchExperiment(b, "ablation-flush") }
+
+// --- Microbenchmarks of the simulator substrate ---
+
+// BenchmarkCoreCycles measures raw simulation speed: simulated cycles per
+// wall-clock op for a colocated pair.
+func BenchmarkCoreCycles(b *testing.B) {
+	lp, _ := workload.Lookup(workload.WebSearch)
+	bp, _ := workload.Lookup(workload.Zeusmp)
+	g0, _ := trace.NewGenerator(lp, 1)
+	g1, _ := trace.NewGenerator(bp, 2)
+	c, err := core.New(core.Default(), g0, g1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	c.RunCycles(int64(b.N))
+}
+
+// BenchmarkCoreInstructions measures simulated instruction throughput solo.
+func BenchmarkCoreInstructions(b *testing.B) {
+	p, _ := workload.Lookup(workload.Zeusmp)
+	g, _ := trace.NewGenerator(p, 1)
+	c, err := core.New(core.Solo(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	target := uint64(b.N)
+	for c.Committed(0) < target {
+		c.RunCycles(1024)
+	}
+}
+
+// BenchmarkTraceGen measures µop generation throughput.
+func BenchmarkTraceGen(b *testing.B) {
+	p, _ := workload.Lookup(workload.WebSearch)
+	g, _ := trace.NewGenerator(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkCacheAccess measures the L1 lookup path.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.L1Config())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+// BenchmarkPredictor measures predict+update throughput.
+func BenchmarkPredictor(b *testing.B) {
+	p := branch.New(branch.DefaultConfig(), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x4000 + (i%512)*72)
+		p.Predict(i&1, pc)
+		p.Update(i&1, pc, i%3 == 0)
+	}
+}
+
+// BenchmarkQueueing measures request-simulation throughput.
+func BenchmarkQueueing(b *testing.B) {
+	svc := workload.Services()[workload.WebSearch]
+	cfg := queueing.Config{
+		Workers: svc.Workers, MeanServiceMs: svc.MeanServiceMs,
+		ServiceCV: svc.ServiceCV, BurstProb: svc.BurstProb, BurstLen: svc.BurstLen,
+		QoSQuantile: svc.QoSQuantile, QoSTargetMs: svc.QoSTargetMs,
+	}
+	b.ResetTimer()
+	if _, err := queueing.Simulate(cfg, 400, b.N+10, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Command stretchsim regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	stretchsim -list
+//	stretchsim -experiment fig9 [-scale full]
+//	stretchsim -experiment all [-scale quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stretch/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		exp   = flag.String("experiment", "all", "experiment id (e.g. fig9) or 'all'")
+		scale = flag.String("scale", "quick", "experiment scale: quick or full")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.All() {
+			fmt.Println(n.ID)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "stretchsim: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	ctx := experiments.NewContext(sc)
+	run := func(n experiments.Named) {
+		start := time.Now()
+		t, err := n.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stretchsim: %s: %v\n", n.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("(%s, %s scale, %.1fs)\n\n", n.ID, sc, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, n := range experiments.All() {
+			run(n)
+		}
+		return
+	}
+	n, err := experiments.ByID(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stretchsim: %v\n", err)
+		os.Exit(2)
+	}
+	run(n)
+}

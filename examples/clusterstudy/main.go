@@ -1,0 +1,71 @@
+// Cluster case studies (§VI-D / Fig. 14): integrate Stretch B-mode batch
+// throughput over the diurnal day of a Web Search cluster and a
+// YouTube-like cluster, using measured B-mode speedups from the core model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stretch"
+	"stretch/internal/cluster"
+)
+
+func main() {
+	cases := []struct {
+		trace cluster.DiurnalTrace
+		ls    string
+		batch string
+	}{
+		{cluster.WebSearchTrace(), stretch.WebSearch, "zeusmp"},
+		{cluster.YouTubeTrace(), stretch.MediaStreaming, "libquantum"},
+	}
+
+	for _, cs := range cases {
+		// Measure the B-mode batch speedup and LS cost for this pairing.
+		eq, err := measure(cs.ls, cs.batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bm, err := measure(cs.ls, cs.batch, stretch.WithBMode())
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := stretch.Speedup(bm.BatchIPC, eq.BatchIPC)
+		cost := -stretch.Speedup(bm.LSIPC, eq.LSIPC)
+
+		study := cluster.Study{
+			Trace:         cs.trace,
+			EngageBelow:   0.85,
+			BatchSpeedupB: gain,
+			LSSlowdownB:   cost,
+		}
+		res, err := study.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("== %s (%s + %s) ==\n", cs.trace.Name, cs.ls, cs.batch)
+		fmt.Printf("B-mode batch speedup %+.0f%%, LS cost %.0f%%\n", 100*gain, 100*cost)
+		fmt.Print("hours: ")
+		for _, h := range res.Hours {
+			c := "."
+			if h.Mode == stretch.ModeB {
+				c = "B"
+			}
+			fmt.Print(c)
+		}
+		fmt.Printf("\nB-mode engaged %d/24 hours -> 24h cluster batch gain %+.1f%%\n\n",
+			res.EngagedHours, 100*res.ClusterGain)
+	}
+	fmt.Println("paper: ~5% for the Web Search cluster (11 engageable hours) and")
+	fmt.Println("~11% for the YouTube cluster (17 hours)")
+}
+
+func measure(ls, b string, opts ...stretch.Option) (stretch.Result, error) {
+	col, err := stretch.NewColocation(ls, b, opts...)
+	if err != nil {
+		return stretch.Result{}, err
+	}
+	return col.Measure()
+}

@@ -1,0 +1,65 @@
+// Colocation characterisation: sweep a set of batch co-runners against one
+// latency-sensitive service across partitioning policies (the §III / §VI-A
+// methodology on a small grid), printing a per-benchmark table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"stretch"
+)
+
+func main() {
+	ls := stretch.WebSearch
+	if len(os.Args) > 1 {
+		ls = os.Args[1]
+	}
+	batch := []string{"zeusmp", "libquantum", "mcf", "lbm", "gcc", "omnetpp", "hmmer", "povray", "sjeng"}
+
+	lsSolo, err := stretch.Solo(ls)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "batch\tsolo IPC\tequal: batch slow\tLS slow\tB-mode: batch gain\tLS cost\tdynamic: batch loss\n")
+	for _, b := range batch {
+		bSolo, err := stretch.Solo(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eq, err := measure(ls, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bm, err := measure(ls, b, stretch.WithBMode())
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyn, err := measure(ls, b, stretch.WithDynamicROB())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.0f%%\t%.0f%%\t%+.0f%%\t%+.0f%%\t%+.0f%%\n",
+			b, bSolo.IPC,
+			100*stretch.Slowdown(eq.BatchIPC, bSolo.IPC),
+			100*stretch.Slowdown(eq.LSIPC, lsSolo.IPC),
+			100*stretch.Speedup(bm.BatchIPC, eq.BatchIPC),
+			100*stretch.Speedup(bm.LSIPC, eq.LSIPC),
+			100*-stretch.Speedup(dyn.BatchIPC, eq.BatchIPC))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func measure(ls, b string, opts ...stretch.Option) (stretch.Result, error) {
+	col, err := stretch.NewColocation(ls, b, opts...)
+	if err != nil {
+		return stretch.Result{}, err
+	}
+	return col.Measure()
+}

@@ -1,0 +1,150 @@
+// Package branch implements the front-end prediction structures of the
+// modelled core (Table II): a hybrid direction predictor (16K-entry gshare
+// plus 4K-entry bimodal with a chooser), a 2K-entry branch target buffer,
+// and a per-thread return address stack. Prediction tables may be shared
+// between hardware threads (the SMT baseline) or private (the fig. 4/5/13
+// idealisations); history registers are always per-thread, as in the paper.
+package branch
+
+// Config sizes the predictor.
+type Config struct {
+	GshareEntries  int // two-bit counters indexed by PC^history
+	BimodalEntries int // two-bit counters indexed by PC
+	ChooserEntries int // two-bit chooser counters
+	BTBEntries     int // branch target buffer entries (tag store)
+}
+
+// DefaultConfig matches Table II: hybrid 16K gshare & 4K bimodal, 2K BTB.
+func DefaultConfig() Config {
+	return Config{
+		GshareEntries:  16 << 10,
+		BimodalEntries: 4 << 10,
+		ChooserEntries: 4 << 10,
+		BTBEntries:     2 << 10,
+	}
+}
+
+// Predictor is a hybrid direction predictor plus BTB. One Predictor instance
+// represents one physical set of tables; attach one or two threads via
+// thread contexts. The thread id participates in index hashing only when the
+// tables are shared, modelling destructive aliasing between threads.
+type Predictor struct {
+	cfg     Config
+	gshare  []uint8
+	bimodal []uint8
+	chooser []uint8
+	btbTag  []uint64
+	shared  bool
+
+	ghr [2]uint64 // per-thread global history (always private)
+}
+
+// New creates a predictor. shared marks the tables as SMT-shared: both
+// threads index the same counters and BTB entries and can evict or alias
+// one another.
+func New(cfg Config, shared bool) *Predictor {
+	p := &Predictor{
+		cfg:     cfg,
+		gshare:  make([]uint8, cfg.GshareEntries),
+		bimodal: make([]uint8, cfg.BimodalEntries),
+		chooser: make([]uint8, cfg.ChooserEntries),
+		btbTag:  make([]uint64, cfg.BTBEntries),
+		shared:  shared,
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1 // weakly not-taken
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1 // weakly prefer bimodal until gshare proves out
+	}
+	return p
+}
+
+// salt perturbs indices for the second thread when tables are shared so the
+// two threads' working sets collide rather than overlay.
+func (p *Predictor) salt(tid int) uint64 {
+	if p.shared && tid == 1 {
+		return 0x5bd1e995
+	}
+	return 0
+}
+
+func (p *Predictor) gshareIdx(tid int, pc uint64) int {
+	h := (pc >> 2) ^ p.ghr[tid] ^ p.salt(tid)
+	return int(h % uint64(p.cfg.GshareEntries))
+}
+
+func (p *Predictor) bimodalIdx(tid int, pc uint64) int {
+	return int(((pc >> 2) ^ p.salt(tid)) % uint64(p.cfg.BimodalEntries))
+}
+
+func (p *Predictor) chooserIdx(tid int, pc uint64) int {
+	return int(((pc >> 2) ^ p.salt(tid)) % uint64(p.cfg.ChooserEntries))
+}
+
+// Outcome is the result of a lookup.
+type Outcome struct {
+	// PredictTaken is the predicted direction.
+	PredictTaken bool
+	// BTBHit reports whether the target was available. A taken branch
+	// without a BTB hit is a front-end mispredict (fetch break).
+	BTBHit bool
+}
+
+// Predict performs a lookup for the branch at pc on thread tid.
+func (p *Predictor) Predict(tid int, pc uint64) Outcome {
+	g := p.gshare[p.gshareIdx(tid, pc)] >= 2
+	b := p.bimodal[p.bimodalIdx(tid, pc)] >= 2
+	useG := p.chooser[p.chooserIdx(tid, pc)] >= 2
+	taken := b
+	if useG {
+		taken = g
+	}
+	btbIdx := ((pc >> 2) ^ p.salt(tid)) % uint64(p.cfg.BTBEntries)
+	hit := p.btbTag[btbIdx] == pc|1
+	return Outcome{PredictTaken: taken, BTBHit: hit}
+}
+
+// Update trains the predictor with the resolved outcome and rolls the
+// thread's global history.
+func (p *Predictor) Update(tid int, pc uint64, taken bool) {
+	gi, bi, ci := p.gshareIdx(tid, pc), p.bimodalIdx(tid, pc), p.chooserIdx(tid, pc)
+	gCorrect := (p.gshare[gi] >= 2) == taken
+	bCorrect := (p.bimodal[bi] >= 2) == taken
+	p.gshare[gi] = bump(p.gshare[gi], taken)
+	p.bimodal[bi] = bump(p.bimodal[bi], taken)
+	if gCorrect != bCorrect {
+		p.chooser[ci] = bump(p.chooser[ci], gCorrect)
+	}
+	if taken {
+		btbIdx := ((pc >> 2) ^ p.salt(tid)) % uint64(p.cfg.BTBEntries)
+		p.btbTag[btbIdx] = pc | 1
+	}
+	p.ghr[tid] = p.ghr[tid]<<1 | b2u(taken)
+}
+
+// ResetHistory clears a thread's global history (used on context switch).
+func (p *Predictor) ResetHistory(tid int) { p.ghr[tid] = 0 }
+
+func bump(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

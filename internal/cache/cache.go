@@ -1,0 +1,256 @@
+// Package cache provides the memory-hierarchy building blocks of the core
+// model: set-associative LRU caches (used for L1-I, L1-D and the partitioned
+// NUCA LLC of Table II), per-thread MSHR accounting that bounds memory-level
+// parallelism, and a PC-indexed stride prefetcher.
+//
+// The package models hit/miss behaviour and occupancy; latencies are
+// composed by the core, which owns the cycle clock.
+package cache
+
+// Config sizes one cache array.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// L1Config matches Table II: 64 KB, 64 B lines, 8-way.
+func L1Config() Config { return Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8} }
+
+// LLCPartitionConfig is one thread's partition of the 8 MB 16-way LLC
+// (equal split across the two colocated applications, per §V-A).
+func LLCPartitionConfig() Config { return Config{SizeBytes: 4 << 20, LineBytes: 64, Ways: 16} }
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks
+// tags only (the model needs hit/miss, not data).
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	tags     []uint64 // sets × ways; 0 = invalid
+	lru      []uint32 // per-way timestamps
+	tick     uint32
+
+	accesses, misses uint64
+}
+
+// New builds a cache from cfg. It panics on degenerate geometry since the
+// configurations are compile-time constants of the experiments.
+func New(cfg Config) *Cache {
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if cfg.Ways <= 0 || lines <= 0 || lines%cfg.Ways != 0 {
+		panic("cache: invalid geometry")
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	lb := uint(0)
+	for 1<<lb < cfg.LineBytes {
+		lb++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lb,
+		tags:     make([]uint64, sets*cfg.Ways),
+		lru:      make([]uint32, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	block := addr >> c.lineBits
+	return int(block % uint64(c.sets)), block | 1 // |1 marks valid
+}
+
+// Access looks up addr, allocating the line on a miss (LRU victim) and
+// updating recency. It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	set, tag := c.index(addr)
+	c.accesses++
+	c.tick++
+	base := set * c.cfg.Ways
+	victim, oldest := base, c.tick
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.tags[w] == tag {
+			c.lru[w] = c.tick
+			return true
+		}
+		if c.lru[w] < oldest {
+			victim, oldest = w, c.lru[w]
+		}
+	}
+	c.misses++
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+	return false
+}
+
+// Probe reports whether addr is resident without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.tags[w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts addr (e.g. a prefetch) without counting an access.
+func (c *Cache) Fill(addr uint64) {
+	set, tag := c.index(addr)
+	c.tick++
+	base := set * c.cfg.Ways
+	victim, oldest := base, c.tick
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.tags[w] == tag {
+			c.lru[w] = c.tick
+			return
+		}
+		if c.lru[w] < oldest {
+			victim, oldest = w, c.lru[w]
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+}
+
+// Stats returns lifetime access and miss counts.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses (0 if never accessed).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// MSHRs tracks outstanding misses for one thread. Each distinct in-flight
+// block occupies one register; accesses to an already-pending block merge.
+// Capacity bounds the thread's memory-level parallelism (Table II: 5 MSHRs
+// per thread).
+type MSHRs struct {
+	cap     int
+	block   []uint64 // pending block addresses
+	readyAt []int64  // completion cycle of each entry
+}
+
+// NewMSHRs creates a file with the given capacity.
+func NewMSHRs(capacity int) *MSHRs {
+	return &MSHRs{cap: capacity, block: make([]uint64, 0, capacity), readyAt: make([]int64, 0, capacity)}
+}
+
+// Expire releases entries whose fills completed at or before now.
+func (m *MSHRs) Expire(now int64) {
+	w := 0
+	for i := range m.block {
+		if m.readyAt[i] > now {
+			m.block[w] = m.block[i]
+			m.readyAt[w] = m.readyAt[i]
+			w++
+		}
+	}
+	m.block = m.block[:w]
+	m.readyAt = m.readyAt[:w]
+}
+
+// Pending returns the completion cycle of an in-flight miss to the block
+// containing addr, if any (merge case).
+func (m *MSHRs) Pending(addr uint64) (readyAt int64, ok bool) {
+	b := addr >> 6
+	for i, blk := range m.block {
+		if blk == b {
+			return m.readyAt[i], true
+		}
+	}
+	return 0, false
+}
+
+// Full reports whether all registers are occupied.
+func (m *MSHRs) Full() bool { return len(m.block) >= m.cap }
+
+// NextFree returns the earliest completion cycle among current entries;
+// callers use it to stall until a register frees. It returns now when the
+// file is empty.
+func (m *MSHRs) NextFree(now int64) int64 {
+	if len(m.block) == 0 {
+		return now
+	}
+	min := m.readyAt[0]
+	for _, r := range m.readyAt[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// Allocate records a new outstanding miss completing at readyAt. The caller
+// must ensure the file is not full.
+func (m *MSHRs) Allocate(addr uint64, readyAt int64) {
+	if m.Full() {
+		panic("cache: MSHR overflow")
+	}
+	m.block = append(m.block, addr>>6)
+	m.readyAt = append(m.readyAt, readyAt)
+}
+
+// InFlight returns the number of outstanding misses.
+func (m *MSHRs) InFlight() int { return len(m.block) }
+
+// Cap returns the capacity.
+func (m *MSHRs) Cap() int { return m.cap }
+
+// StridePrefetcher is a PC-indexed stride detector (Table II: tracks up to
+// 32 load/store PCs). After two accesses from the same PC with a repeating
+// stride it predicts the next address.
+type StridePrefetcher struct {
+	entries int
+	pc      []uint64
+	last    []uint64
+	stride  []int64
+	conf    []uint8
+}
+
+// NewStridePrefetcher creates a table tracking n PCs (direct-mapped).
+func NewStridePrefetcher(n int) *StridePrefetcher {
+	return &StridePrefetcher{
+		entries: n,
+		pc:      make([]uint64, n),
+		last:    make([]uint64, n),
+		stride:  make([]int64, n),
+		conf:    make([]uint8, n),
+	}
+}
+
+// Observe records an access by the static site to addr and, when a stride
+// is confirmed, returns the address predicted degree strides ahead (degree
+// lets the prefetcher run far enough ahead of a dense stream to cross into
+// the next cache line before demand gets there).
+func (p *StridePrefetcher) Observe(site uint64, addr uint64, degree int64) (prefetch uint64, ok bool) {
+	i := int((site >> 2) % uint64(p.entries))
+	if p.pc[i] != site {
+		p.pc[i], p.last[i], p.stride[i], p.conf[i] = site, addr, 0, 0
+		return 0, false
+	}
+	s := int64(addr) - int64(p.last[i])
+	p.last[i] = addr
+	if s != 0 && s == p.stride[i] {
+		if p.conf[i] < 3 {
+			p.conf[i]++
+		}
+	} else {
+		p.stride[i] = s
+		p.conf[i] = 0
+	}
+	if p.conf[i] >= 2 && p.stride[i] != 0 {
+		return uint64(int64(addr) + degree*p.stride[i]), true
+	}
+	return 0, false
+}

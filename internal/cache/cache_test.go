@@ -1,0 +1,255 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config { return Config{SizeBytes: 4096, LineBytes: 64, Ways: 4} } // 16 sets
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(small())
+	if c.Access(0x1000) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access should hit")
+	}
+	if !c.Access(0x1004) {
+		t.Fatal("same-line access should hit")
+	}
+	acc, miss := c.Stats()
+	if acc != 3 || miss != 1 {
+		t.Fatalf("stats = %d/%d", acc, miss)
+	}
+	if c.MissRate() <= 0.3 || c.MissRate() >= 0.4 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(small())
+	// 4 ways in one set: fill with 4 tags mapping to set 0.
+	setStride := uint64(16 * 64) // sets × lineBytes
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * setStride)
+	}
+	// Touch line 0 to make line 1 the LRU victim.
+	c.Access(0)
+	c.Access(4 * setStride) // evicts line 1
+	if !c.Probe(0) {
+		t.Fatal("recently used line was evicted")
+	}
+	if c.Probe(1 * setStride) {
+		t.Fatal("LRU line not evicted")
+	}
+	for _, a := range []uint64{2 * setStride, 3 * setStride, 4 * setStride} {
+		if !c.Probe(a) {
+			t.Fatalf("line %#x unexpectedly evicted", a)
+		}
+	}
+}
+
+func TestAssociativityBound(t *testing.T) {
+	cfg := small()
+	c := New(cfg)
+	setStride := uint64(16 * 64)
+	// Insert many conflicting lines into set 0.
+	for i := uint64(0); i < 64; i++ {
+		c.Access(i * setStride)
+	}
+	resident := 0
+	for i := uint64(0); i < 64; i++ {
+		if c.Probe(i * setStride) {
+			resident++
+		}
+	}
+	if resident != cfg.Ways {
+		t.Fatalf("%d lines resident in one set, want %d", resident, cfg.Ways)
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := New(small())
+	c.Access(0x40)
+	acc, miss := c.Stats()
+	c.Probe(0x40)
+	c.Probe(0x9999999)
+	a2, m2 := c.Stats()
+	if a2 != acc || m2 != miss {
+		t.Fatal("Probe changed stats")
+	}
+}
+
+func TestFillInsertsWithoutAccessCount(t *testing.T) {
+	c := New(small())
+	c.Fill(0x2000)
+	if acc, _ := c.Stats(); acc != 0 {
+		t.Fatal("Fill counted as access")
+	}
+	if !c.Probe(0x2000) {
+		t.Fatal("filled line not resident")
+	}
+	if !c.Access(0x2000) {
+		t.Fatal("access after fill should hit")
+	}
+}
+
+func TestCapacityFullyUsable(t *testing.T) {
+	cfg := small()
+	c := New(cfg)
+	lines := cfg.SizeBytes / cfg.LineBytes
+	for i := 0; i < lines; i++ {
+		c.Access(uint64(i * cfg.LineBytes))
+	}
+	for i := 0; i < lines; i++ {
+		if !c.Probe(uint64(i * cfg.LineBytes)) {
+			t.Fatalf("line %d missing although footprint == capacity", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 1000, LineBytes: 64, Ways: 4}, // lines not multiple of ways... 1000/64=15
+		{SizeBytes: 4096, LineBytes: 64, Ways: 0},
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},
+		{SizeBytes: 3 * 64 * 4, LineBytes: 64, Ways: 4}, // 3 sets: not a power of two
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New(%+v) did not panic", i, cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestAssociativityProperty(t *testing.T) {
+	// Property: for any access sequence, at most Ways distinct lines from
+	// the same set are resident.
+	cfg := Config{SizeBytes: 2048, LineBytes: 64, Ways: 2} // 16 sets
+	setStride := uint64(16 * 64)
+	if err := quick.Check(func(seq []uint8) bool {
+		c := New(cfg)
+		for _, s := range seq {
+			c.Access(uint64(s) * setStride) // all map to set 0
+		}
+		resident := 0
+		for i := uint64(0); i < 256; i++ {
+			if c.Probe(i * setStride) {
+				resident++
+			}
+		}
+		return resident <= cfg.Ways
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRMergeAndExpire(t *testing.T) {
+	m := NewMSHRs(2)
+	m.Allocate(0x1000, 100)
+	if r, ok := m.Pending(0x1004); !ok || r != 100 {
+		t.Fatal("same-block miss must merge")
+	}
+	if _, ok := m.Pending(0x2000); ok {
+		t.Fatal("different block reported pending")
+	}
+	m.Allocate(0x2000, 50)
+	if !m.Full() {
+		t.Fatal("two entries should fill a 2-entry file")
+	}
+	if got := m.NextFree(10); got != 50 {
+		t.Fatalf("NextFree = %d, want 50", got)
+	}
+	m.Expire(60)
+	if m.Full() || m.InFlight() != 1 {
+		t.Fatal("expire did not release the completed entry")
+	}
+	m.Expire(100)
+	if m.InFlight() != 0 {
+		t.Fatal("expire missed the boundary entry")
+	}
+	if got := m.NextFree(7); got != 7 {
+		t.Fatalf("NextFree on empty file = %d, want now", got)
+	}
+}
+
+func TestMSHROverflowPanics(t *testing.T) {
+	m := NewMSHRs(1)
+	m.Allocate(0x1000, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocating into a full MSHR file did not panic")
+		}
+	}()
+	m.Allocate(0x2000, 20)
+}
+
+func TestMSHRCap(t *testing.T) {
+	if NewMSHRs(5).Cap() != 5 {
+		t.Fatal("Cap mismatch")
+	}
+}
+
+func TestStridePrefetcherDetects(t *testing.T) {
+	p := NewStridePrefetcher(8)
+	const site = 0x5000
+	addr := uint64(0x10000)
+	var got uint64
+	ok := false
+	for i := 0; i < 6; i++ {
+		got, ok = p.Observe(site, addr, 4)
+		addr += 16
+	}
+	if !ok {
+		t.Fatal("prefetcher failed to latch a steady stride")
+	}
+	// Last observed address is addr-16; prediction 4 strides ahead.
+	want := addr - 16 + 4*16
+	if got != want {
+		t.Fatalf("prefetch target %#x, want %#x", got, want)
+	}
+}
+
+func TestStridePrefetcherIgnoresIrregular(t *testing.T) {
+	p := NewStridePrefetcher(8)
+	const site = 0x6000
+	addrs := []uint64{100, 228, 36, 900, 17}
+	for _, a := range addrs {
+		if _, ok := p.Observe(site, a, 4); ok {
+			t.Fatal("prefetcher latched onto an irregular stream")
+		}
+	}
+}
+
+func TestStridePrefetcherSiteCollision(t *testing.T) {
+	p := NewStridePrefetcher(1) // every site collides
+	a, b := uint64(0x5000), uint64(0x5004)
+	addr := uint64(0x10000)
+	for i := 0; i < 10; i++ {
+		p.Observe(a, addr, 1)
+		if _, ok := p.Observe(b, addr, 1); ok {
+			t.Fatal("collision should reset training, never predict")
+		}
+		addr += 16
+	}
+}
+
+func TestL1AndLLCConfigs(t *testing.T) {
+	l1 := L1Config()
+	if l1.SizeBytes != 64<<10 || l1.Ways != 8 || l1.LineBytes != 64 {
+		t.Fatalf("L1Config = %+v", l1)
+	}
+	llc := LLCPartitionConfig()
+	if llc.SizeBytes != 4<<20 || llc.Ways != 16 {
+		t.Fatalf("LLCPartitionConfig = %+v", llc)
+	}
+	// Both must construct.
+	New(l1)
+	New(llc)
+}

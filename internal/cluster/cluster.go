@@ -1,0 +1,143 @@
+// Package cluster reproduces the §VI-D impact case studies (Fig. 14): a
+// Web Search cluster and a YouTube-like video cluster with diurnal load,
+// where Stretch B-mode is engaged during the hours the service runs below
+// the engage threshold, and batch throughput is integrated over 24 hours.
+package cluster
+
+import (
+	"fmt"
+
+	"stretch/internal/core"
+	"stretch/internal/monitor"
+)
+
+// DiurnalTrace is a 24-hour load profile in fractions of peak load.
+type DiurnalTrace struct {
+	Name string
+	// HourLoad[h] is the load during hour h as a fraction of peak.
+	HourLoad [24]float64
+}
+
+// WebSearchTrace is the query-rate pattern of Fig. 14(a) (after Meisner et
+// al.): a daytime plateau near peak with a deep overnight trough; the
+// service sits below 85% of max for roughly 11 hours a day.
+func WebSearchTrace() DiurnalTrace {
+	return DiurnalTrace{
+		Name: "web-search-cluster",
+		HourLoad: [24]float64{
+			0.55, 0.48, 0.42, 0.38, 0.36, 0.40, // 00-05
+			0.50, 0.65, 0.86, 0.92, 0.96, 1.00, // 06-11
+			1.00, 0.98, 0.97, 0.95, 0.93, 0.90, // 12-17
+			0.89, 0.87, 0.86, 0.80, 0.72, 0.62, // 18-23
+		},
+	}
+}
+
+// YouTubeTrace is the edge-traffic pattern of Fig. 14(b) (after Gill et
+// al.): requests concentrate between 10:00 and 19:00, peaking at 14:00;
+// the other ~17 hours stay below 85% of peak.
+func YouTubeTrace() DiurnalTrace {
+	return DiurnalTrace{
+		Name: "youtube-cluster",
+		HourLoad: [24]float64{
+			0.35, 0.30, 0.26, 0.24, 0.22, 0.24, // 00-05
+			0.30, 0.40, 0.55, 0.70, 0.84, 0.95, // 06-11
+			0.98, 0.99, 1.00, 0.97, 0.94, 0.90, // 12-17
+			0.84, 0.80, 0.70, 0.60, 0.50, 0.42, // 18-23
+		},
+	}
+}
+
+// Study parameterises one case study.
+type Study struct {
+	Trace DiurnalTrace
+	// EngageBelow is the load threshold under which B-mode is safe (the
+	// paper uses 85% of max).
+	EngageBelow float64
+	// BatchSpeedupB is the measured batch speedup of the B-mode skew in
+	// use (e.g. 56-136) relative to equal partitioning.
+	BatchSpeedupB float64
+	// LSSlowdownB is the measured LS slowdown of that skew relative to
+	// equal partitioning (used to sanity-check safety against slack).
+	LSSlowdownB float64
+}
+
+// HourResult records one hour of the study.
+type HourResult struct {
+	Hour     int
+	Load     float64
+	Mode     core.Mode
+	BatchRel float64 // batch throughput relative to equal partitioning
+}
+
+// Result is the 24-hour integration.
+type Result struct {
+	Hours []HourResult
+	// EngagedHours is how many hours B-mode was active.
+	EngagedHours int
+	// ClusterGain is the 24-hour batch-throughput improvement over the
+	// baseline SMT deployment with equal partitioning.
+	ClusterGain float64
+}
+
+// Run integrates the study over 24 hours. Hour-grain mode selection mirrors
+// the coarse exploitation the paper evaluates ("both cases are doing a very
+// coarse exploitation of the capabilities of Stretch").
+func (s Study) Run() (Result, error) {
+	if s.EngageBelow <= 0 || s.EngageBelow > 1 {
+		return Result{}, fmt.Errorf("cluster: engage threshold %v out of (0,1]", s.EngageBelow)
+	}
+	if s.BatchSpeedupB < 0 {
+		return Result{}, fmt.Errorf("cluster: negative batch speedup")
+	}
+	var res Result
+	var sum float64
+	for h, load := range s.Trace.HourLoad {
+		hr := HourResult{Hour: h, Load: load, Mode: core.ModeBaseline, BatchRel: 1}
+		if load < s.EngageBelow {
+			hr.Mode = core.ModeB
+			hr.BatchRel = 1 + s.BatchSpeedupB
+			res.EngagedHours++
+		}
+		sum += hr.BatchRel
+		res.Hours = append(res.Hours, hr)
+	}
+	res.ClusterGain = sum/24 - 1
+	return res, nil
+}
+
+// RunWithController replays the diurnal day through the §IV-C controller at
+// the given monitoring granularity (windows per hour), feeding it the tail
+// latency that the queueing model predicts for each window's load and the
+// currently engaged mode. tailAt maps (loadFrac, mode) to the window's tail
+// latency in ms. It returns per-hour modal decisions plus the controller's
+// switch count — demonstrating that hysteresis keeps flips infrequent even
+// at fine granularity.
+func (s Study) RunWithController(ctl *monitor.Controller, windowsPerHour int,
+	tailAt func(load float64, mode core.Mode) float64) (Result, error) {
+	if windowsPerHour <= 0 {
+		return Result{}, fmt.Errorf("cluster: need at least one window per hour")
+	}
+	var res Result
+	var sum float64
+	for h, load := range s.Trace.HourLoad {
+		engagedWindows := 0
+		for w := 0; w < windowsPerHour; w++ {
+			tail := tailAt(load, ctl.Mode())
+			ctl.Observe(monitor.Observation{TailMs: tail})
+			if ctl.Mode() == core.ModeB {
+				engagedWindows++
+			}
+		}
+		hr := HourResult{Hour: h, Load: load, Mode: ctl.Mode()}
+		frac := float64(engagedWindows) / float64(windowsPerHour)
+		hr.BatchRel = 1 + s.BatchSpeedupB*frac
+		if frac > 0.5 {
+			res.EngagedHours++
+		}
+		sum += hr.BatchRel
+		res.Hours = append(res.Hours, hr)
+	}
+	res.ClusterGain = sum/24 - 1
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"stretch/internal/core"
+	"stretch/internal/monitor"
+)
+
+func TestTracesShape(t *testing.T) {
+	for _, tr := range []DiurnalTrace{WebSearchTrace(), YouTubeTrace()} {
+		peak := 0.0
+		for h, l := range tr.HourLoad {
+			if l <= 0 || l > 1 {
+				t.Errorf("%s hour %d load %v out of (0,1]", tr.Name, h, l)
+			}
+			if l > peak {
+				peak = l
+			}
+		}
+		if peak != 1.0 {
+			t.Errorf("%s never reaches peak (max %v)", tr.Name, peak)
+		}
+	}
+}
+
+func TestPaperEngageableHours(t *testing.T) {
+	count := func(tr DiurnalTrace) int {
+		n := 0
+		for _, l := range tr.HourLoad {
+			if l < 0.85 {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(WebSearchTrace()); got != 11 {
+		t.Fatalf("Web Search trace has %d engageable hours, want 11 (§VI-D)", got)
+	}
+	if got := count(YouTubeTrace()); got != 17 {
+		t.Fatalf("YouTube trace has %d engageable hours, want 17 (§VI-D)", got)
+	}
+}
+
+func TestRunGainMath(t *testing.T) {
+	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngagedHours != 11 {
+		t.Fatalf("engaged %d hours", res.EngagedHours)
+	}
+	want := 0.13 * 11.0 / 24.0
+	if diff := res.ClusterGain - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("gain = %v, want %v", res.ClusterGain, want)
+	}
+	if len(res.Hours) != 24 {
+		t.Fatalf("%d hour records", len(res.Hours))
+	}
+	for _, h := range res.Hours {
+		if (h.Mode == core.ModeB) != (h.Load < 0.85) {
+			t.Fatalf("hour %d: mode %v at load %v", h.Hour, h.Mode, h.Load)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := (Study{Trace: WebSearchTrace(), EngageBelow: 0}).Run(); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, err := (Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: -1}).Run(); err == nil {
+		t.Fatal("negative speedup accepted")
+	}
+}
+
+func TestRunWithControllerTracksLoad(t *testing.T) {
+	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13, LSSlowdownB: 0.07}
+	ctl, err := monitor.New(monitor.DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunWithController(ctl, 10, func(load float64, mode core.Mode) float64 {
+		// Low load -> low tail; high load -> violation band.
+		if load < 0.7 {
+			return 40
+		}
+		if load < 0.9 {
+			return 85
+		}
+		return 99
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngagedHours == 0 {
+		t.Fatal("controller never engaged B-mode on an idle night")
+	}
+	if res.EngagedHours > 16 {
+		t.Fatalf("controller engaged %d hours — should stay out at daytime load", res.EngagedHours)
+	}
+	if res.ClusterGain <= 0 {
+		t.Fatal("no gain from controller-driven engagement")
+	}
+	if ctl.Switches() == 0 || ctl.Switches() > 10 {
+		t.Fatalf("suspicious switch count %d", ctl.Switches())
+	}
+	if _, err := s.RunWithController(ctl, 0, nil); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+}

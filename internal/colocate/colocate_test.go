@@ -1,0 +1,144 @@
+package colocate
+
+import (
+	"testing"
+
+	"stretch/internal/core"
+	"stretch/internal/sampling"
+	"stretch/internal/workload"
+)
+
+func TestConfigConstructors(t *testing.T) {
+	b := BaselineConfig()
+	if !b.SharedL1I || !b.SharedL1D || !b.SharedBP || b.ROBPolicy != core.ROBPartitioned {
+		t.Fatal("baseline must share everything and partition the ROB")
+	}
+	if b.ROBLimit != [2]int{96, 96} {
+		t.Fatalf("baseline limits %v", b.ROBLimit)
+	}
+
+	s := SkewConfig(56)
+	if s.ROBLimit != [2]int{56, 136} {
+		t.Fatalf("skew limits %v", s.ROBLimit)
+	}
+
+	d := DynamicConfig()
+	if d.ROBPolicy != core.ROBDynamic {
+		t.Fatal("dynamic config policy")
+	}
+
+	ft := ThrottleConfig(8)
+	if ft.FetchThrottle != 8 || ft.ROBPolicy != core.ROBDynamic || ft.ThrottledThread != 0 {
+		t.Fatalf("throttle config %+v", ft)
+	}
+	if ThrottleConfig(1).FetchThrottle != 0 {
+		t.Fatal("ratio 1:1 must disable throttling (it equals dynamic sharing)")
+	}
+}
+
+func TestShareOnlyConfigs(t *testing.T) {
+	for _, r := range Resources() {
+		cfg := ShareOnlyConfig(r)
+		if (cfg.SharedL1I && r != ResL1I) || (!cfg.SharedL1I && r == ResL1I) {
+			t.Errorf("%v: L1I sharing wrong", r)
+		}
+		if (cfg.SharedL1D && r != ResL1D) || (!cfg.SharedL1D && r == ResL1D) {
+			t.Errorf("%v: L1D sharing wrong", r)
+		}
+		if (cfg.SharedBP && r != ResBTBBP) || (!cfg.SharedBP && r == ResBTBBP) {
+			t.Errorf("%v: BP sharing wrong", r)
+		}
+		if r == ResROB {
+			if cfg.ROBPolicy != core.ROBPartitioned {
+				t.Error("ROB study must use the static split")
+			}
+		} else if cfg.ROBPolicy != core.ROBPrivate {
+			t.Errorf("%v: everything else must give full private windows", r)
+		}
+		if !cfg.SharedL1D && cfg.MSHRPerThread != 10 {
+			t.Errorf("%v: private L1-D implies the full 10-MSHR budget", r)
+		}
+		if cfg.SharedL1D && cfg.MSHRPerThread != 5 {
+			t.Errorf("%v: shared L1-D implies 5 MSHRs per thread", r)
+		}
+	}
+}
+
+func TestIdealSchedulingConfig(t *testing.T) {
+	cfg := IdealSchedulingConfig(0)
+	if cfg.SharedL1I || cfg.SharedL1D || cfg.SharedBP {
+		t.Fatal("ideal scheduling must privatise all dynamically shared structures")
+	}
+	if cfg.ROBLimit != [2]int{96, 96} {
+		t.Fatalf("ideal scheduling keeps the equal split: %v", cfg.ROBLimit)
+	}
+	combo := IdealSchedulingConfig(56)
+	if combo.ROBLimit != [2]int{56, 136} {
+		t.Fatalf("combined config limits %v", combo.ROBLimit)
+	}
+}
+
+func TestNormalisations(t *testing.T) {
+	if Slowdown(0.8, 1.0) != 0.19999999999999996 && Slowdown(0.8, 1.0) != 0.2 {
+		t.Fatalf("Slowdown = %v", Slowdown(0.8, 1.0))
+	}
+	if Speedup(1.2, 1.0) <= 0.19 || Speedup(1.2, 1.0) >= 0.21 {
+		t.Fatalf("Speedup = %v", Speedup(1.2, 1.0))
+	}
+	if Slowdown(1, 0) != 0 || Speedup(1, 0) != 0 {
+		t.Fatal("zero baselines must yield 0")
+	}
+}
+
+func TestGridSmall(t *testing.T) {
+	grid, err := Grid([]string{workload.WebSearch}, []string{"povray", workload.Zeusmp},
+		BaselineConfig(), sampling.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 1 || len(grid[workload.WebSearch]) != 2 {
+		t.Fatalf("grid shape wrong: %d services", len(grid))
+	}
+	for b, p := range grid[workload.WebSearch] {
+		if p.LSAgg.IPC <= 0 || p.BatchAgg.IPC <= 0 {
+			t.Errorf("%s: non-positive IPCs", b)
+		}
+		if p.LS != workload.WebSearch || p.Batch != b {
+			t.Errorf("%s: mislabelled pair %+v", b, p)
+		}
+	}
+}
+
+func TestGridUnknownWorkload(t *testing.T) {
+	if _, err := Grid([]string{"nope"}, []string{"povray"}, BaselineConfig(), sampling.Quick()); err == nil {
+		t.Fatal("unknown LS accepted")
+	}
+	if _, err := Grid([]string{workload.WebSearch}, []string{"nope"}, BaselineConfig(), sampling.Quick()); err == nil {
+		t.Fatal("unknown batch accepted")
+	}
+}
+
+func TestSoloIPC(t *testing.T) {
+	m, err := SoloIPC([]string{"povray", workload.Zeusmp}, sampling.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["povray"] <= 0 || m[workload.Zeusmp] <= 0 {
+		t.Fatalf("solo map %v", m)
+	}
+	if _, err := SoloIPC([]string{"nope"}, sampling.Quick()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestResourceStrings(t *testing.T) {
+	want := map[Resource]string{ResROB: "ROB", ResL1I: "L1-I", ResL1D: "L1-D", ResBTBBP: "BTB+BP"}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%v.String() = %q", r, r.String())
+		}
+	}
+	if Resource(99).String() != "?" {
+		t.Error("unknown resource string")
+	}
+}

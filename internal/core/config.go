@@ -1,0 +1,243 @@
+// Package core implements the cycle-level model of the dual-threaded SMT
+// out-of-order core from Table II of the paper, including the Stretch
+// mechanism itself: software-programmable per-thread ROB/LSQ limit
+// registers that realise the Baseline, B-mode and Q-mode partitionings.
+//
+// The model is trace-driven: each hardware thread consumes a µop Stream
+// (normally a trace.Generator). Fetch is ICOUNT-driven with the paper's
+// structural limits (6 wide, ≤2 cache blocks, ≤1 branch), the back-end
+// schedules µops onto functional-unit pools respecting register
+// dependences, D-cache behaviour and the per-thread MSHR budget that
+// bounds memory-level parallelism, and commit is round-robin and in-order
+// per thread. Mispredicted branches put their thread on the wrong path:
+// fetch and dispatch continue past the branch, the junk occupies window
+// resources until the branch resolves, and resolution squashes everything
+// younger with a 12-cycle redirect penalty, replaying the squashed µops as
+// the correct path. Stretch mode switches squash both threads the same way
+// (§IV-C's "pipeline flush in both threads").
+package core
+
+import (
+	"fmt"
+
+	"stretch/internal/branch"
+	"stretch/internal/cache"
+	"stretch/internal/isa"
+)
+
+// ROBPolicy selects how the instruction window is divided between threads.
+type ROBPolicy uint8
+
+const (
+	// ROBPartitioned gives each thread a hard limit-register bound
+	// (Intel-style static split, or a Stretch asymmetric split).
+	ROBPartitioned ROBPolicy = iota
+	// ROBDynamic lets both threads allocate from one shared pool
+	// (the fig. 11 configuration).
+	ROBDynamic
+	// ROBPrivate gives every thread a full-size private window (the
+	// fig. 4/5 idealisation and solo runs).
+	ROBPrivate
+)
+
+// String names the policy.
+func (p ROBPolicy) String() string {
+	switch p {
+	case ROBPartitioned:
+		return "partitioned"
+	case ROBDynamic:
+		return "dynamic"
+	case ROBPrivate:
+		return "private"
+	default:
+		return fmt.Sprintf("ROBPolicy(%d)", uint8(p))
+	}
+}
+
+// Config describes one simulated core. The zero value is not usable; start
+// from Default and override.
+type Config struct {
+	// Width is fetch/decode/dispatch/commit bandwidth (Table II: 6).
+	Width int
+	// FetchBlocks caps cache blocks touched per thread per fetch cycle.
+	FetchBlocks int
+	// FetchBufEntries is the per-thread fetch-to-dispatch queue depth.
+	FetchBufEntries int
+
+	// ROBEntries and LSQEntries size the shared structures (192 / 64).
+	ROBEntries int
+	LSQEntries int
+	// ROBPolicy selects partitioned, dynamic or private windows.
+	ROBPolicy ROBPolicy
+	// ROBLimit and LSQLimit are per-thread limit registers used when
+	// ROBPolicy is ROBPartitioned. These are the registers Stretch
+	// reprograms.
+	ROBLimit [2]int
+	LSQLimit [2]int
+
+	// FlushCycles is the pipeline flush penalty (12).
+	FlushCycles int
+	// FU is the functional-unit pool sizes.
+	FU [isa.NumFUClasses]int
+	// MSHRPerThread bounds outstanding demand misses per thread
+	// (Table II: 5 per thread when sharing, 10 for a solo/private core).
+	MSHRPerThread int
+
+	// L1DHitLatency, LLCLatency and MemLatency are load-use latencies in
+	// cycles (3 / 28 / 216; 216 = 28 + 75 ns at 2.5 GHz).
+	L1DHitLatency int
+	LLCLatency    int
+	MemLatency    int
+
+	// L1I and L1D size the private-level caches.
+	L1I, L1D cache.Config
+	// SharedL1I, SharedL1D, SharedBP mark structures SMT-shared between
+	// the two threads (true in the baseline; selectively false in the
+	// fig. 4/5 contention studies and the fig. 13 idealisation).
+	SharedL1I, SharedL1D, SharedBP bool
+
+	// Prefetch enables the L1-D stride prefetcher; PrefetchPCs sizes it.
+	Prefetch    bool
+	PrefetchPCs int
+
+	// Branch sizes the prediction structures.
+	Branch branch.Config
+
+	// StrictICount restricts fetch to a single thread per cycle (pure
+	// ICOUNT); the default donates unused fetch slots to the other
+	// thread, as Table II describes.
+	StrictICount bool
+
+	// FetchThrottle enables 1:M fetch-bandwidth throttling (fig. 12):
+	// the throttled thread may fetch only one cycle in every M+1. Zero
+	// or one disables throttling.
+	FetchThrottle int
+	// ThrottledThread selects which hardware thread is throttled.
+	ThrottledThread int
+}
+
+// Default returns the Table II SMT baseline: everything shared, ROB and LSQ
+// equally partitioned, 5 MSHRs per thread.
+func Default() Config {
+	cfg := Config{
+		Width:           6,
+		FetchBlocks:     2,
+		FetchBufEntries: 16,
+		ROBEntries:      192,
+		LSQEntries:      64,
+		ROBPolicy:       ROBPartitioned,
+		FlushCycles:     12,
+		MSHRPerThread:   5,
+		L1DHitLatency:   3,
+		LLCLatency:      28,
+		MemLatency:      216,
+		L1I:             cache.L1Config(),
+		L1D:             cache.L1Config(),
+		SharedL1I:       true,
+		SharedL1D:       true,
+		SharedBP:        true,
+		Prefetch:        true,
+		PrefetchPCs:     32,
+		Branch:          branch.DefaultConfig(),
+	}
+	cfg.FU[isa.FUIntAdd] = 4
+	cfg.FU[isa.FUIntMul] = 2
+	cfg.FU[isa.FUFP] = 3
+	cfg.FU[isa.FULSU] = 2
+	cfg.SetEqualPartition()
+	return cfg
+}
+
+// Solo returns the full-core configuration used to normalise results:
+// one thread owning every resource (192-entry ROB, 10 MSHRs).
+func Solo() Config {
+	cfg := Default()
+	cfg.ROBPolicy = ROBPrivate
+	cfg.MSHRPerThread = 10
+	return cfg
+}
+
+// SetEqualPartition programs the Intel-style 50:50 split (Baseline mode).
+func (c *Config) SetEqualPartition() {
+	c.ROBPolicy = ROBPartitioned
+	c.ROBLimit = [2]int{c.ROBEntries / 2, c.ROBEntries / 2}
+	c.LSQLimit = [2]int{c.LSQEntries / 2, c.LSQEntries / 2}
+}
+
+// SetSkew programs a Stretch asymmetric partitioning giving thread 0
+// rob0 ROB entries and thread 1 the remainder; LSQ is split in proportion
+// (§IV footnote 1). The paper writes configurations as N-M with N for the
+// latency-sensitive thread; by convention thread 0 runs the LS workload.
+func (c *Config) SetSkew(rob0 int) error {
+	if rob0 <= 0 || rob0 >= c.ROBEntries {
+		return fmt.Errorf("core: ROB skew %d out of range (0, %d)", rob0, c.ROBEntries)
+	}
+	c.ROBPolicy = ROBPartitioned
+	c.ROBLimit = [2]int{rob0, c.ROBEntries - rob0}
+	l0 := rob0 * c.LSQEntries / c.ROBEntries
+	if l0 < 4 {
+		l0 = 4
+	}
+	if l0 > c.LSQEntries-4 {
+		l0 = c.LSQEntries - 4
+	}
+	c.LSQLimit = [2]int{l0, c.LSQEntries - l0}
+	return nil
+}
+
+// Validate rejects configurations the hardware could not be built with.
+func (c *Config) Validate() error {
+	switch {
+	case c.Width <= 0 || c.FetchBlocks <= 0 || c.FetchBufEntries <= 0:
+		return fmt.Errorf("core: non-positive front-end parameter")
+	case c.ROBEntries <= 0 || c.LSQEntries <= 0:
+		return fmt.Errorf("core: non-positive window size")
+	case c.MSHRPerThread <= 0:
+		return fmt.Errorf("core: need at least one MSHR per thread")
+	case c.FlushCycles < 0:
+		return fmt.Errorf("core: negative flush penalty")
+	case c.FetchThrottle < 0:
+		return fmt.Errorf("core: negative fetch throttle")
+	}
+	if c.ROBPolicy == ROBPartitioned {
+		if c.ROBLimit[0] <= 0 || c.ROBLimit[1] < 0 ||
+			c.ROBLimit[0]+c.ROBLimit[1] > c.ROBEntries {
+			return fmt.Errorf("core: ROB limits %v exceed %d entries", c.ROBLimit, c.ROBEntries)
+		}
+		if c.LSQLimit[0] <= 0 || c.LSQLimit[1] < 0 ||
+			c.LSQLimit[0]+c.LSQLimit[1] > c.LSQEntries {
+			return fmt.Errorf("core: LSQ limits %v exceed %d entries", c.LSQLimit, c.LSQEntries)
+		}
+	}
+	for cl, n := range c.FU {
+		if n <= 0 {
+			return fmt.Errorf("core: no functional units of class %v", isa.FUClass(cl))
+		}
+	}
+	return nil
+}
+
+// Mode identifies a Stretch operating point (§IV-C): the S-bit disengaged
+// (Baseline) or engaged with the B/Q selector.
+type Mode uint8
+
+// Stretch modes.
+const (
+	ModeBaseline Mode = iota // equal partitioning (S-bit clear)
+	ModeB                    // batch boost: LS thread gets the small share
+	ModeQ                    // QoS boost: LS thread gets the large share
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeB:
+		return "B-mode"
+	case ModeQ:
+		return "Q-mode"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stretch/internal/isa"
+	"stretch/internal/trace"
+)
+
+// fakeStream feeds a fixed op pattern, for white-box pipeline tests.
+type fakeStream struct {
+	ops []isa.MicroOp
+	i   int
+}
+
+func (f *fakeStream) Next() isa.MicroOp {
+	op := f.ops[f.i%len(f.ops)]
+	op.PC += uint64(f.i/len(f.ops)) % 4 * 0 // keep PCs stable
+	f.i++
+	return op
+}
+
+// aluStream returns an endless stream of independent single-cycle ALU ops
+// walking a tiny code footprint.
+func aluStream() *fakeStream {
+	ops := make([]isa.MicroOp, 64)
+	for i := range ops {
+		ops[i] = isa.MicroOp{PC: 0x4000 + uint64(i*4), Kind: isa.OpIntAlu}
+	}
+	return &fakeStream{ops: ops}
+}
+
+func genProfile() trace.Profile {
+	return trace.Profile{
+		Name:          "t",
+		Class:         trace.Batch,
+		Mix:           trace.Mix{Load: 0.2, Store: 0.05, Branch: 0.02, FP: 0.1, Mul: 0.02},
+		CodeFootprint: 64 << 10,
+		HotCodeBytes:  16 << 10,
+		HotCodeProb:   0.95,
+		BlockLen:      8,
+		DataFootprint: 4 << 20,
+		HotDataBytes:  24 << 10,
+		WarmDataBytes: 1 << 20,
+		HotDataProb:   0.8,
+		WarmDataProb:  0.15,
+		StreamFrac:    0.2,
+		StreamSites:   2,
+		ChaseFrac:     0.1,
+		DepProb:       0.6,
+		DepMean:       6,
+		DepTwoFrac:    0.2,
+		BranchNoise:   0.01,
+		TakenBias:     0.5,
+	}
+}
+
+func mustGen(t *testing.T, seed uint64) *trace.Generator {
+	t.Helper()
+	g, err := trace.NewGenerator(genProfile(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.ROBEntries = 0 },
+		func(c *Config) { c.MSHRPerThread = 0 },
+		func(c *Config) { c.FlushCycles = -1 },
+		func(c *Config) { c.FetchThrottle = -2 },
+		func(c *Config) { c.ROBLimit = [2]int{0, 96} },
+		func(c *Config) { c.ROBLimit = [2]int{150, 100} },
+		func(c *Config) { c.LSQLimit = [2]int{0, 32} },
+		func(c *Config) { c.FU[isa.FUFP] = 0 },
+	}
+	for i, mut := range bad {
+		cfg := Default()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSetSkewProportionalLSQ(t *testing.T) {
+	cfg := Default()
+	if err := cfg.SetSkew(56); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ROBLimit != [2]int{56, 136} {
+		t.Fatalf("ROB limits = %v", cfg.ROBLimit)
+	}
+	if cfg.LSQLimit[0]+cfg.LSQLimit[1] > cfg.LSQEntries {
+		t.Fatalf("LSQ limits %v exceed %d", cfg.LSQLimit, cfg.LSQEntries)
+	}
+	// Proportional: 56/192 of 64 ≈ 18.
+	if cfg.LSQLimit[0] < 14 || cfg.LSQLimit[0] > 22 {
+		t.Fatalf("LSQ limit[0] = %d, want ~18", cfg.LSQLimit[0])
+	}
+	if err := cfg.SetSkew(0); err == nil {
+		t.Fatal("SetSkew(0) accepted")
+	}
+	if err := cfg.SetSkew(192); err == nil {
+		t.Fatal("SetSkew(total) accepted")
+	}
+}
+
+func TestNewRejectsBadStreamCount(t *testing.T) {
+	if _, err := New(Default()); err == nil {
+		t.Fatal("New with no streams accepted")
+	}
+	g := aluStream()
+	if _, err := New(Default(), g, g, g); err == nil {
+		t.Fatal("New with three streams accepted")
+	}
+}
+
+func TestSoloRunProgressAndIPC(t *testing.T) {
+	c, err := New(Solo(), mustGen(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.Run(RunSpec{WarmupInstr: 5000, MeasureInstr: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].IPC <= 0 || ms[0].IPC > float64(Solo().Width) {
+		t.Fatalf("solo IPC = %v out of (0, width]", ms[0].IPC)
+	}
+	if ms[0].Instructions < 10000 {
+		t.Fatalf("measured only %d instructions", ms[0].Instructions)
+	}
+	if c.Committed(0) < 15000 {
+		t.Fatalf("committed %d < warm+measure", c.Committed(0))
+	}
+}
+
+func TestRunRejectsZeroMeasure(t *testing.T) {
+	c, _ := New(Solo(), aluStream())
+	if _, err := c.Run(RunSpec{}); err == nil {
+		t.Fatal("zero measurement accepted")
+	}
+}
+
+func TestPureALUIPCHigh(t *testing.T) {
+	c, _ := New(Solo(), aluStream())
+	ms, err := c.Run(RunSpec{WarmupInstr: 2000, MeasureInstr: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].IPC < 3 {
+		t.Fatalf("independent ALU stream IPC = %v, want >= 3 (6-wide core)", ms[0].IPC)
+	}
+}
+
+func TestROBOccupancyNeverExceedsLimit(t *testing.T) {
+	cfg := Default()
+	if err := cfg.SetSkew(56); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg, mustGen(t, 2), mustGen(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		c.step()
+		if o := c.ROBOccupancy(0); o > 56 {
+			t.Fatalf("thread 0 occupancy %d > limit 56", o)
+		}
+		if o := c.ROBOccupancy(1); o > 136 {
+			t.Fatalf("thread 1 occupancy %d > limit 136", o)
+		}
+		if c.threads[0].lsqOcc > c.threads[0].lsqLim ||
+			c.threads[1].lsqOcc > c.threads[1].lsqLim {
+			t.Fatal("LSQ occupancy exceeded limit")
+		}
+	}
+}
+
+func TestDynamicPoolBound(t *testing.T) {
+	cfg := Default()
+	cfg.ROBPolicy = ROBDynamic
+	c, err := New(cfg, mustGen(t, 4), mustGen(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		c.step()
+		r, l := c.poolOcc()
+		if r > cfg.ROBEntries {
+			t.Fatalf("pool occupancy %d > %d", r, cfg.ROBEntries)
+		}
+		if l > cfg.LSQEntries {
+			t.Fatalf("LSQ pool occupancy %d > %d", l, cfg.LSQEntries)
+		}
+	}
+}
+
+func TestModeSwitchDrainsAndApplies(t *testing.T) {
+	c, err := New(Default(), mustGen(t, 6), mustGen(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunCycles(2000)
+	if c.ROBLimit(0) != 96 {
+		t.Fatalf("initial limit = %d", c.ROBLimit(0))
+	}
+	if err := c.SetPartition(56); err != nil {
+		t.Fatal(err)
+	}
+	if c.ModeSwitches() != 1 {
+		t.Fatal("mode switch not counted")
+	}
+	before0, before1 := c.Committed(0), c.Committed(1)
+	c.RunCycles(5000)
+	if c.ROBLimit(0) != 56 || c.ROBLimit(1) != 136 {
+		t.Fatalf("limits after switch = %d/%d", c.ROBLimit(0), c.ROBLimit(1))
+	}
+	if c.Committed(0) <= before0 || c.Committed(1) <= before1 {
+		t.Fatal("threads stopped committing after a mode switch")
+	}
+	// Switch back mid-flight (failure injection: immediate re-switch).
+	if err := c.SetEqualPartition(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartition(136); err != nil {
+		t.Fatal(err)
+	}
+	c.RunCycles(5000)
+	if c.ROBLimit(0) != 136 {
+		t.Fatalf("limit after re-switch = %d", c.ROBLimit(0))
+	}
+	if err := c.SetPartition(500); err == nil {
+		t.Fatal("out-of-range skew accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		c, err := New(Default(), mustGen(t, 8), mustGen(t, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := c.Run(RunSpec{WarmupInstr: 3000, MeasureInstr: 6000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms[0].IPC, ms[1].IPC
+	}
+	a0, a1 := run()
+	b0, b1 := run()
+	if a0 != b0 || a1 != b1 {
+		t.Fatalf("identical runs diverged: (%v,%v) vs (%v,%v)", a0, a1, b0, b1)
+	}
+}
+
+func TestBModeShiftsThroughput(t *testing.T) {
+	measure := func(skew int) (float64, float64) {
+		cfg := Default()
+		if skew > 0 {
+			if err := cfg.SetSkew(skew); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Thread 0: chase-bound (window-insensitive); thread 1: scatter
+		// (window-sensitive).
+		p0 := genProfile()
+		p0.ChaseFrac, p0.StreamFrac = 0.6, 0
+		p0.HotDataProb, p0.WarmDataProb = 0.85, 0.13
+		p1 := genProfile()
+		p1.ChaseFrac, p1.StreamFrac = 0, 0.1
+		p1.HotDataProb, p1.WarmDataProb = 0.62, 0.16
+		g0, err := trace.NewGenerator(p0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, err := trace.NewGenerator(p1, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(cfg, g0, g1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := c.Run(RunSpec{WarmupInstr: 8000, MeasureInstr: 15000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms[0].IPC, ms[1].IPC
+	}
+	eq0, eq1 := measure(0)
+	b0, b1 := measure(56)
+	if b1 <= eq1 {
+		t.Fatalf("B-mode did not speed up the window-hungry thread: %v -> %v", eq1, b1)
+	}
+	if b0 >= eq0 {
+		t.Fatalf("B-mode did not cost the shrunk thread anything: %v -> %v", eq0, b0)
+	}
+}
+
+func TestFetchThrottleSlowsThrottledThread(t *testing.T) {
+	measure := func(m int) float64 {
+		cfg := Default()
+		cfg.ROBPolicy = ROBDynamic
+		cfg.FetchThrottle = m
+		cfg.ThrottledThread = 0
+		c, err := New(cfg, mustGen(t, 12), mustGen(t, 13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := c.Run(RunSpec{WarmupInstr: 3000, MeasureInstr: 8000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms[0].IPC
+	}
+	if free, throttled := measure(0), measure(16); throttled >= free*0.8 {
+		t.Fatalf("1:16 throttling barely slowed thread 0: %v vs %v", throttled, free)
+	}
+}
+
+func TestSharedCachesContend(t *testing.T) {
+	run := func(shared bool) float64 {
+		cfg := Default()
+		cfg.SharedL1I, cfg.SharedL1D, cfg.SharedBP = shared, shared, shared
+		if !shared {
+			cfg.MSHRPerThread = 10
+		}
+		c, err := New(cfg, mustGen(t, 14), mustGen(t, 15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := c.Run(RunSpec{WarmupInstr: 5000, MeasureInstr: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms[0].IPC + ms[1].IPC
+	}
+	if sh, pr := run(true), run(false); sh >= pr {
+		t.Fatalf("shared structures should cost throughput: shared %v >= private %v", sh, pr)
+	}
+}
+
+func TestMLPCensus(t *testing.T) {
+	// Hand-built intervals: [0,10) one miss, [5,10) a second.
+	events := []missEvent{{0, 1}, {5, 1}, {10, -1}, {10, -1}}
+	tail, avg := mlpCensus(events, 0, 20)
+	if tail[1] != 0.5 {
+		t.Fatalf("tail[1] = %v, want 0.5", tail[1])
+	}
+	if tail[2] != 0.25 {
+		t.Fatalf("tail[2] = %v, want 0.25", tail[2])
+	}
+	if avg != (10.0+5.0)/20.0 {
+		t.Fatalf("avg = %v, want 0.75", avg)
+	}
+	// Empty window.
+	tail, avg = mlpCensus(nil, 0, 10)
+	if tail[0] != 1 || avg != 0 {
+		t.Fatal("empty census should be all-zero levels")
+	}
+	// Events outside the window clip.
+	tail, _ = mlpCensus([]missEvent{{-100, 1}, {100, -1}}, 0, 10)
+	if tail[1] != 1 {
+		t.Fatalf("clipped census tail[1] = %v, want 1", tail[1])
+	}
+}
+
+func TestROBLimitsQuickProperty(t *testing.T) {
+	// Property: for any valid skew, a short run never violates limits and
+	// both threads commit.
+	if err := quick.Check(func(seed uint64, skewRaw uint8) bool {
+		skew := 16 + int(skewRaw)%(192-32) // [16, 176)
+		cfg := Default()
+		if err := cfg.SetSkew(skew); err != nil {
+			return false
+		}
+		g0, err := trace.NewGenerator(genProfile(), seed)
+		if err != nil {
+			return false
+		}
+		g1, err := trace.NewGenerator(genProfile(), seed^0xdead)
+		if err != nil {
+			return false
+		}
+		c, err := New(cfg, g0, g1)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 600; i++ {
+			c.step()
+			if c.ROBOccupancy(0) > skew || c.ROBOccupancy(1) > 192-skew {
+				return false
+			}
+		}
+		return c.Committed(0) > 0 && c.Committed(1) > 0
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCyclesCapRespected(t *testing.T) {
+	c, _ := New(Solo(), aluStream())
+	ms, err := c.Run(RunSpec{WarmupInstr: 1 << 40, MeasureInstr: 1 << 40, MaxCycles: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycle() > 501 {
+		t.Fatalf("ran %d cycles past the cap", c.Cycle())
+	}
+	_ = ms
+}
+
+func TestICountPrefersLessOccupiedThread(t *testing.T) {
+	c, _ := New(Default(), aluStream(), aluStream())
+	c.threads[0].robOcc = 50
+	c.threads[1].robOcc = 10
+	if order := c.priorityOrder(); order[0] != 1 {
+		t.Fatal("ICOUNT must prioritise the thread with fewer in-flight ops")
+	}
+	c.threads[1].robOcc = 90
+	if order := c.priorityOrder(); order[0] != 0 {
+		t.Fatal("ICOUNT must flip when occupancy flips")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if ROBPartitioned.String() != "partitioned" || ROBDynamic.String() != "dynamic" ||
+		ROBPrivate.String() != "private" || ROBPolicy(9).String() == "" {
+		t.Fatal("ROBPolicy strings")
+	}
+	if ModeBaseline.String() != "baseline" || ModeB.String() != "B-mode" ||
+		ModeQ.String() != "Q-mode" || Mode(9).String() == "" {
+		t.Fatal("Mode strings")
+	}
+}

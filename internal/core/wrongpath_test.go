@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"stretch/internal/isa"
+)
+
+// branchyStream emits runs of ALU ops separated by a branch whose outcome
+// is drawn from a PRNG — unlearnable by both bimodal and gshare, so it
+// mispredicts roughly half the time.
+type branchyStream struct {
+	i     int
+	state uint64
+	burst int // ALU ops between branches
+}
+
+func (s *branchyStream) Next() isa.MicroOp {
+	s.i++
+	if s.i%(s.burst+1) != 0 {
+		return isa.MicroOp{PC: 0x4000 + uint64(s.i%64)*4, Kind: isa.OpIntAlu}
+	}
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return isa.MicroOp{
+		PC:     0x8000,
+		Kind:   isa.OpBranch,
+		Taken:  s.state>>63 == 1,
+		Target: 0x4000,
+	}
+}
+
+func TestWrongPathSquashPreservesProgramOrder(t *testing.T) {
+	cfg := Solo()
+	c, err := New(cfg, &branchyStream{burst: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.Run(RunSpec{WarmupInstr: 2000, MeasureInstr: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every emitted op must commit exactly once: committed counts grow
+	// past warm+measure and IPC stays positive despite constant
+	// mispredicts.
+	if ms[0].IPC <= 0 {
+		t.Fatal("no progress under constant mispredicts")
+	}
+	if ms[0].MispredictRate < 0.35 {
+		t.Fatalf("random site should mispredict heavily, got %.2f", ms[0].MispredictRate)
+	}
+}
+
+func TestWrongPathStateClearsAfterResolve(t *testing.T) {
+	c, err := New(Solo(), &branchyStream{burst: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawShadow := false
+	for i := 0; i < 4000; i++ {
+		c.step()
+		th := c.threads[0]
+		if th.wrongPath {
+			sawShadow = true
+			if th.wpOlder > th.robOcc {
+				t.Fatalf("cycle %d: wpOlder %d > occupancy %d", i, th.wpOlder, th.robOcc)
+			}
+		}
+		if th.lsqOcc < 0 || th.robOcc < 0 {
+			t.Fatalf("cycle %d: negative occupancy after squash", i)
+		}
+	}
+	if !sawShadow {
+		t.Fatal("test never entered a wrong-path shadow")
+	}
+}
+
+func TestMispredictsCostThroughput(t *testing.T) {
+	run := func(burst int) float64 {
+		c, err := New(Solo(), &branchyStream{burst: burst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := c.Run(RunSpec{WarmupInstr: 2000, MeasureInstr: 8000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms[0].IPC
+	}
+	frequent := run(10) // mispredict every ~11 ops
+	rare := run(200)    // mispredict every ~201 ops
+	if frequent >= rare {
+		t.Fatalf("frequent mispredicts (%v IPC) should cost more than rare ones (%v IPC)", frequent, rare)
+	}
+}
+
+func TestSquashDuringWrongPath(t *testing.T) {
+	// Failure injection: a mode switch lands while a thread is on the
+	// wrong path; the squash must clear the shadow and the core must
+	// keep making progress.
+	cfg := Default()
+	c, err := New(cfg, &branchyStream{burst: 15}, &branchyStream{burst: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.RunCycles(97) // odd period to land in shadows
+		if err := c.SetPartition(56 + (i%2)*80); err != nil {
+			t.Fatal(err)
+		}
+		for _, th := range c.threads {
+			if th.wrongPath {
+				t.Fatal("squash did not clear wrong-path state")
+			}
+			if th.robOcc != 0 {
+				t.Fatal("squash left entries in the ROB")
+			}
+		}
+	}
+	before := c.Committed(0) + c.Committed(1)
+	c.RunCycles(3000)
+	if c.Committed(0)+c.Committed(1) <= before {
+		t.Fatal("no progress after repeated mid-shadow squashes")
+	}
+}
+
+func TestReplayNeverBeatsOriginalSchedule(t *testing.T) {
+	// prevDone monotonicity: flapping the partition as fast as possible
+	// must not increase IPC versus never switching.
+	run := func(flap bool) float64 {
+		c, err := New(Default(), &branchyStream{burst: 20}, &branchyStream{burst: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			c.RunCycles(50)
+			if flap {
+				if err := c.SetPartition(96); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return float64(c.Committed(0)+c.Committed(1)) / float64(c.Cycle())
+	}
+	static := run(false)
+	flapped := run(true)
+	if flapped > static*1.02 {
+		t.Fatalf("pathological flapping sped the core up: %v vs %v", flapped, static)
+	}
+}
+
+func TestSingleThreadIgnoresThrottle(t *testing.T) {
+	cfg := Solo()
+	cfg.FetchThrottle = 16 // throttling needs two threads; solo ignores it
+	c, err := New(cfg, aluStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.Run(RunSpec{WarmupInstr: 1000, MeasureInstr: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].IPC < 3 {
+		t.Fatalf("solo run affected by throttle config: IPC %v", ms[0].IPC)
+	}
+}
+
+func TestStrictICountStillProgressesBothThreads(t *testing.T) {
+	cfg := Default()
+	cfg.StrictICount = true
+	c, err := New(cfg, mustGen(t, 21), mustGen(t, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunCycles(20000)
+	if c.Committed(0) == 0 || c.Committed(1) == 0 {
+		t.Fatalf("strict ICOUNT starved a thread: %d / %d", c.Committed(0), c.Committed(1))
+	}
+}
+
+func TestLoadMergeSharesMSHR(t *testing.T) {
+	// Two loads to the same block back to back: the second must not
+	// allocate a second MSHR entry (white-box via the MSHR census).
+	ops := []isa.MicroOp{
+		{PC: 0x4000, Kind: isa.OpLoad, Addr: 0x9_0000_0000},
+		{PC: 0x4004, Kind: isa.OpLoad, Addr: 0x9_0000_0008},
+		{PC: 0x4008, Kind: isa.OpIntAlu},
+		{PC: 0x400c, Kind: isa.OpIntAlu},
+	}
+	c, err := New(Solo(), &fakeStream{ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunCycles(20)
+	if got := c.threads[0].mshr.InFlight(); got > 1 {
+		t.Fatalf("same-block loads allocated %d MSHRs, want <= 1", got)
+	}
+}

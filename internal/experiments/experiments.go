@@ -1,0 +1,229 @@
+// Package experiments reproduces every table and figure of the paper's
+// characterisation (§II–III) and evaluation (§VI). Each artifact has a
+// constructor returning a printable Table plus a set of named headline
+// metrics that the test suite asserts qualitative shapes on and
+// EXPERIMENTS.md records against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"stretch/internal/colocate"
+	"stretch/internal/sampling"
+	"stretch/internal/workload"
+)
+
+// Scale selects experiment fidelity.
+type Scale int
+
+// Scales.
+const (
+	// Quick uses a representative batch subset and short samples; used
+	// by the test suite.
+	Quick Scale = iota
+	// Full uses all 29 batch benchmarks and the standard sample budget;
+	// used by the benchmark harness and the CLI.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Metrics holds headline numbers ("batch_gain_mean", ...) consumed
+	// by tests and EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage cell.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// f3 formats a float cell.
+func f3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Context memoises expensive shared results (solo baselines, grids) across
+// the experiments of one run.
+type Context struct {
+	Scale Scale
+
+	mu    sync.Mutex
+	solo  map[string]float64
+	grids map[string]map[string]map[string]colocate.Pair
+}
+
+// NewContext builds a context at the given scale.
+func NewContext(sc Scale) *Context {
+	return &Context{
+		Scale: sc,
+		solo:  make(map[string]float64),
+		grids: make(map[string]map[string]map[string]colocate.Pair),
+	}
+}
+
+// Spec returns the sampling spec for the context's scale.
+func (c *Context) Spec() sampling.Spec {
+	if c.Scale == Quick {
+		return sampling.Quick()
+	}
+	return sampling.Standard()
+}
+
+// BatchNames returns the batch suite at the context's scale: all 29 at
+// Full, a tier-spanning subset of 10 at Quick.
+func (c *Context) BatchNames() []string {
+	if c.Scale == Full {
+		return workload.BatchNames()
+	}
+	return []string{
+		"zeusmp", "libquantum", "lbm", "mcf", "bwaves", // memory-bound
+		"gcc", "omnetpp", "hmmer", // moderate
+		"povray", "sjeng", // compute-bound
+	}
+}
+
+// QueueRequests returns the queueing-simulation request budget.
+func (c *Context) QueueRequests() int {
+	if c.Scale == Quick {
+		return 20000
+	}
+	return 80000
+}
+
+// SoloIPC returns the memoised solo full-core IPC for the named workloads.
+func (c *Context) SoloIPC(names ...string) (map[string]float64, error) {
+	c.mu.Lock()
+	var missing []string
+	for _, n := range names {
+		if _, ok := c.solo[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	c.mu.Unlock()
+	if len(missing) > 0 {
+		m, err := colocate.SoloIPC(missing, c.Spec())
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		for k, v := range m {
+			c.solo[k] = v
+		}
+		c.mu.Unlock()
+	}
+	out := make(map[string]float64, len(names))
+	c.mu.Lock()
+	for _, n := range names {
+		out[n] = c.solo[n]
+	}
+	c.mu.Unlock()
+	return out, nil
+}
+
+// Grid returns the memoised colocation grid for a configuration key. The
+// builder runs at most once per key.
+func (c *Context) Grid(key string, build func() (map[string]map[string]colocate.Pair, error)) (map[string]map[string]colocate.Pair, error) {
+	c.mu.Lock()
+	if g, ok := c.grids[key]; ok {
+		c.mu.Unlock()
+		return g, nil
+	}
+	c.mu.Unlock()
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.grids[key] = g
+	c.mu.Unlock()
+	return g, nil
+}
+
+// Named couples an experiment id with its runner, for the CLI and benches.
+type Named struct {
+	ID  string
+	Run func(*Context) (Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Named {
+	return []Named{
+		{"table1", func(c *Context) (Table, error) { return Table1(), nil }},
+		{"table2", func(c *Context) (Table, error) { return Table2(), nil }},
+		{"table3", func(c *Context) (Table, error) { return Table3(), nil }},
+		{"fig1", Fig1},
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"ablation-lsq", AblationLSQCoupling},
+		{"ablation-mshr", AblationMSHR},
+		{"ablation-prefetch", AblationPrefetcher},
+		{"ablation-signal", AblationControllerSignal},
+		{"ablation-flush", AblationFlushCost},
+	}
+}
+
+// ByID returns the named experiment or an error.
+func ByID(id string) (Named, error) {
+	for _, n := range All() {
+		if n.ID == id {
+			return n, nil
+		}
+	}
+	return Named{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

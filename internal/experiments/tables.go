@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stretch/internal/core"
+	"stretch/internal/workload"
+)
+
+// Table1 reproduces Table I: the slack-study workloads and QoS targets.
+func Table1() Table {
+	t := Table{
+		ID:      "table1",
+		Title:   "Workloads and QoS targets used to measure slack (Table I)",
+		Header:  []string{"name", "description", "QoS target", "metric", "workers"},
+		Metrics: map[string]float64{},
+	}
+	svcs := workload.Services()
+	for _, n := range workload.ServiceNames() {
+		s := svcs[n]
+		t.Rows = append(t.Rows, []string{
+			n, s.Description,
+			fmt.Sprintf("%gms", s.QoSTargetMs), s.QoSMetric,
+			fmt.Sprintf("%d", s.Workers),
+		})
+		t.Metrics["target_ms_"+n] = s.QoSTargetMs
+	}
+	return t
+}
+
+// Table2 reproduces Table II: the simulated processor parameters, read back
+// from the default core configuration so the table can never drift from
+// the model.
+func Table2() Table {
+	cfg := core.Default()
+	t := Table{
+		ID:     "table2",
+		Title:  "Simulated processor parameters (Table II)",
+		Header: []string{"parameter", "value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("core", "dual-thread SMT, 6-wide OoO, 2.5 GHz")
+	add("fetch", fmt.Sprintf("%d instrs, up to %d cache blocks, up to 1 branch", cfg.Width, cfg.FetchBlocks))
+	add("L1-I", fmt.Sprintf("%dKB, %dB line, %d-way, LRU", cfg.L1I.SizeBytes>>10, cfg.L1I.LineBytes, cfg.L1I.Ways))
+	add("BP", fmt.Sprintf("hybrid (%dK gshare & %dK bimodal)", cfg.Branch.GshareEntries>>10, cfg.Branch.BimodalEntries>>10))
+	add("BTB", fmt.Sprintf("%dK entries", cfg.Branch.BTBEntries>>10))
+	add("pipeline flush", fmt.Sprintf("%d cycles", cfg.FlushCycles))
+	add("ROB", fmt.Sprintf("%d entries total, %d per thread", cfg.ROBEntries, cfg.ROBLimit[0]))
+	add("LSQ", fmt.Sprintf("%d entries total, %d per thread", cfg.LSQEntries, cfg.LSQLimit[0]))
+	add("L1-D", fmt.Sprintf("%dKB, %dB line, %d-way, %d MSHRs/thread, stride prefetcher (%d PCs)",
+		cfg.L1D.SizeBytes>>10, cfg.L1D.LineBytes, cfg.L1D.Ways, cfg.MSHRPerThread, cfg.PrefetchPCs))
+	add("FUs", "4 int add, 2 int mul, 3 FP, 2 LSU")
+	add("LLC", "8MB NUCA, 16-way, partitioned; avg access 28 cycles")
+	add("memory", fmt.Sprintf("%d cycles (75ns at 2.5GHz, incl. LLC miss)", cfg.MemLatency))
+	t.Metrics = map[string]float64{
+		"rob_entries": float64(cfg.ROBEntries),
+		"lsq_entries": float64(cfg.LSQEntries),
+		"mshr":        float64(cfg.MSHRPerThread),
+	}
+	return t
+}
+
+// Table3 reproduces Table III: the latency-sensitive workloads evaluated in
+// colocation.
+func Table3() Table {
+	t := Table{
+		ID:      "table3",
+		Title:   "Latency-sensitive workloads used for evaluation (Table III)",
+		Header:  []string{"name", "description", "code WS", "data WS", "chase frac"},
+		Metrics: map[string]float64{},
+	}
+	svcs := workload.Services()
+	for _, n := range workload.ServiceNames() {
+		s := svcs[n]
+		p := s.Profile
+		t.Rows = append(t.Rows, []string{
+			n, s.Description,
+			fmt.Sprintf("%.1fMB", float64(p.CodeFootprint)/(1<<20)),
+			fmt.Sprintf("%dMB", p.DataFootprint>>20),
+			pct(p.ChaseFrac),
+		})
+		t.Metrics["chase_"+n] = p.ChaseFrac
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+// Package isa defines the micro-operation vocabulary shared by the trace
+// generator and the core model: operation kinds, the functional-unit classes
+// that execute them, and their execution latencies.
+//
+// The model is ISA-agnostic at the instruction-encoding level (the paper
+// simulates SPARC v9; we reproduce pipeline behaviour, not encodings): a
+// trace is a stream of micro-ops annotated with dependence distances,
+// memory addresses, and branch outcomes.
+package isa
+
+import "fmt"
+
+// OpKind classifies a micro-op by the pipeline resources it needs.
+type OpKind uint8
+
+// Micro-op kinds.
+const (
+	OpIntAlu OpKind = iota // single-cycle integer ALU
+	OpIntMul               // integer multiply/divide
+	OpFP                   // floating-point arithmetic
+	OpLoad                 // memory load (occupies LSQ + LSU)
+	OpStore                // memory store (occupies LSQ + LSU)
+	OpBranch               // conditional or indirect branch
+	numOpKinds
+)
+
+// NumOpKinds is the number of distinct micro-op kinds.
+const NumOpKinds = int(numOpKinds)
+
+// String returns the mnemonic for the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpIntAlu:
+		return "alu"
+	case OpIntMul:
+		return "mul"
+	case OpFP:
+		return "fp"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// IsMem reports whether the kind accesses data memory.
+func (k OpKind) IsMem() bool { return k == OpLoad || k == OpStore }
+
+// FUClass identifies a functional-unit pool in the core back-end.
+type FUClass uint8
+
+// Functional-unit classes, matching Table II: 4 int adders, 2 int
+// multipliers, 3 FPUs, 2 load/store units.
+const (
+	FUIntAdd FUClass = iota
+	FUIntMul
+	FUFP
+	FULSU
+	numFUClasses
+)
+
+// NumFUClasses is the number of functional-unit pools.
+const NumFUClasses = int(numFUClasses)
+
+// String returns the pool name.
+func (c FUClass) String() string {
+	switch c {
+	case FUIntAdd:
+		return "int-add"
+	case FUIntMul:
+		return "int-mul"
+	case FUFP:
+		return "fp"
+	case FULSU:
+		return "lsu"
+	default:
+		return fmt.Sprintf("FUClass(%d)", uint8(c))
+	}
+}
+
+// FUFor returns the functional-unit class that executes kind k.
+func FUFor(k OpKind) FUClass {
+	switch k {
+	case OpIntMul:
+		return FUIntMul
+	case OpFP:
+		return FUFP
+	case OpLoad, OpStore:
+		return FULSU
+	default: // OpIntAlu, OpBranch
+		return FUIntAdd
+	}
+}
+
+// Latency returns the execution latency in cycles for kind k, excluding any
+// memory-hierarchy time (loads add cache latency on top of address
+// generation).
+func Latency(k OpKind) int {
+	switch k {
+	case OpIntAlu, OpBranch:
+		return 1
+	case OpIntMul:
+		return 3
+	case OpFP:
+		return 4
+	case OpLoad, OpStore:
+		return 1 // address generation; memory time added by the cache model
+	default:
+		return 1
+	}
+}
+
+// MicroOp is one element of an instruction trace.
+type MicroOp struct {
+	// PC is the program counter of the op (byte address).
+	PC uint64
+	// Site is a stable identifier of the static instruction site, used
+	// by PC-indexed structures such as the stride prefetcher. For most
+	// ops it mirrors the PC; trace generators give stream accesses a
+	// stable site the way a loop's load PC is stable in real code.
+	Site uint32
+	// Kind classifies the op.
+	Kind OpKind
+	// Dep1 and Dep2 are register-dependence distances: the op depends on
+	// the results of the ops Dep1 and Dep2 positions earlier in program
+	// order of the same thread. Zero means no dependence. Loads feeding
+	// through pointer chases are expressed as small distances to older
+	// loads.
+	Dep1, Dep2 int32
+	// Addr is the effective data address for loads and stores.
+	Addr uint64
+	// Taken reports the branch outcome for branch ops.
+	Taken bool
+	// Target is the branch target for taken branches (next fetch PC).
+	Target uint64
+}

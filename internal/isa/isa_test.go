@@ -1,0 +1,69 @@
+package isa
+
+import "testing"
+
+func TestFUMapping(t *testing.T) {
+	cases := []struct {
+		k OpKind
+		c FUClass
+	}{
+		{OpIntAlu, FUIntAdd},
+		{OpBranch, FUIntAdd},
+		{OpIntMul, FUIntMul},
+		{OpFP, FUFP},
+		{OpLoad, FULSU},
+		{OpStore, FULSU},
+	}
+	for _, c := range cases {
+		if got := FUFor(c.k); got != c.c {
+			t.Errorf("FUFor(%v) = %v, want %v", c.k, got, c.c)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(OpIntAlu) != 1 || Latency(OpBranch) != 1 {
+		t.Error("single-cycle ops must have latency 1")
+	}
+	if Latency(OpIntMul) <= Latency(OpIntAlu) {
+		t.Error("multiply must be slower than add")
+	}
+	if Latency(OpFP) <= Latency(OpIntAlu) {
+		t.Error("FP must be slower than add")
+	}
+	for k := OpKind(0); int(k) < NumOpKinds; k++ {
+		if Latency(k) < 1 {
+			t.Errorf("latency of %v < 1", k)
+		}
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for k := OpKind(0); int(k) < NumOpKinds; k++ {
+		want := k == OpLoad || k == OpStore
+		if k.IsMem() != want {
+			t.Errorf("IsMem(%v) = %v", k, k.IsMem())
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	names := map[OpKind]string{
+		OpIntAlu: "alu", OpIntMul: "mul", OpFP: "fp",
+		OpLoad: "load", OpStore: "store", OpBranch: "branch",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	if OpKind(200).String() == "" || FUClass(200).String() == "" {
+		t.Error("unknown values must still format")
+	}
+	fus := map[FUClass]string{FUIntAdd: "int-add", FUIntMul: "int-mul", FUFP: "fp", FULSU: "lsu"}
+	for c, want := range fus {
+		if c.String() != want {
+			t.Errorf("%v.String() = %q", c, c.String())
+		}
+	}
+}

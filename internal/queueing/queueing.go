@@ -1,0 +1,210 @@
+// Package queueing implements the request-level discrete-event simulator
+// behind the paper's §II characterisation: a latency-sensitive service is a
+// pool of worker threads draining an open-loop, bursty arrival process.
+// Queueing delay — not processing time — dominates the tail at high load,
+// which is what creates the latency-vs-load knee of Fig. 1 and the slack
+// of Fig. 2.
+//
+// Core performance couples in through a single perf factor: a service
+// running at fraction f of full single-thread performance has its service
+// times stretched by 1/f (§II's Elfen-style fine-grain interleaving, or
+// SMT contention, or a Stretch partition choice).
+package queueing
+
+import (
+	"container/heap"
+	"fmt"
+
+	"stretch/internal/rng"
+	"stretch/internal/stats"
+)
+
+// Config describes a service's request-level behaviour.
+type Config struct {
+	// Workers is the number of concurrent request-serving threads.
+	Workers int
+	// MeanServiceMs and ServiceCV shape the log-normal service time at
+	// full single-thread performance.
+	MeanServiceMs float64
+	ServiceCV     float64
+	// BurstProb is the probability an arrival is a burst head; a burst
+	// head brings BurstLen-1 additional simultaneous requests. Fixed
+	// burst sizes keep the idle-load tail finite while still letting
+	// burst drain time stretch with background utilisation — which is
+	// what makes the p99 knee appear near peak load (Fig. 1).
+	BurstProb float64
+	BurstLen  float64
+	// QoSQuantile and QoSTargetMs define the QoS constraint.
+	QoSQuantile float64
+	QoSTargetMs float64
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers <= 0:
+		return fmt.Errorf("queueing: need at least one worker")
+	case c.MeanServiceMs <= 0:
+		return fmt.Errorf("queueing: non-positive service time")
+	case c.ServiceCV < 0:
+		return fmt.Errorf("queueing: negative service CV")
+	case c.QoSQuantile <= 0 || c.QoSQuantile >= 1:
+		return fmt.Errorf("queueing: QoS quantile out of (0,1)")
+	case c.QoSTargetMs <= 0:
+		return fmt.Errorf("queueing: non-positive QoS target")
+	}
+	return nil
+}
+
+// Result summarises one simulation.
+type Result struct {
+	MeanMs float64
+	P95Ms  float64
+	P99Ms  float64
+	// QoSMs is the latency at the configured QoS quantile.
+	QoSMs float64
+	// MeetsQoS reports QoSMs <= QoSTargetMs.
+	MeetsQoS bool
+	// MaxQueue is the deepest queue observed.
+	MaxQueue int
+	// Requests is the number of completed requests measured.
+	Requests int
+}
+
+// workerHeap tracks worker free times.
+type workerHeap []float64
+
+func (h workerHeap) Len() int            { return len(h) }
+func (h workerHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *workerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate runs nRequests through the service at the given arrival rate
+// (requests per second) with the core at perfFactor of full single-thread
+// performance. The first 10% of requests are warm-up and excluded.
+func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64, seed uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if ratePerSec <= 0 || nRequests <= 0 {
+		return Result{}, fmt.Errorf("queueing: non-positive rate or request count")
+	}
+	if perfFactor <= 0 || perfFactor > 1 {
+		return Result{}, fmt.Errorf("queueing: perf factor %v out of (0,1]", perfFactor)
+	}
+
+	arr := rng.New(seed).Derive(1)
+	svc := rng.New(seed).Derive(2)
+
+	// FCFS k-server queue processed in arrival order: with identical
+	// workers, assigning each request to the earliest-free worker in
+	// arrival order is exactly FCFS.
+	workers := make(workerHeap, cfg.Workers)
+	heap.Init(&workers)
+
+	meanGapMs := 1000 / ratePerSec
+	now := 0.0 // arrival clock, ms
+	warm := nRequests / 10
+	lat := stats.NewSample(nRequests - warm)
+	var mean stats.Running
+	maxQ := 0
+	pending := 0 // requests in this burst still to arrive at `now`
+
+	for i := 0; i < nRequests; i++ {
+		if pending > 0 {
+			pending--
+		} else {
+			now += arr.Exp(meanGapMs)
+			if arr.Bernoulli(cfg.BurstProb) {
+				pending = int(cfg.BurstLen) - 1
+				if pending < 0 {
+					pending = 0
+				}
+			}
+		}
+		free := heap.Pop(&workers).(float64)
+		start := free
+		if now > start {
+			start = now
+		}
+		s := svc.LogNormal(cfg.MeanServiceMs, cfg.ServiceCV) / perfFactor
+		finish := start + s
+		heap.Push(&workers, finish)
+
+		// Queue depth proxy: workers busy beyond `now`.
+		busy := 0
+		for _, f := range workers {
+			if f > now {
+				busy++
+			}
+		}
+		if q := busy - cfg.Workers; q > maxQ {
+			maxQ = q
+		}
+		if i >= warm {
+			l := finish - now
+			lat.Add(l)
+			mean.Add(l)
+		}
+	}
+
+	r := Result{
+		MeanMs:   mean.Mean(),
+		P95Ms:    lat.Quantile(0.95),
+		P99Ms:    lat.Quantile(0.99),
+		QoSMs:    lat.Quantile(cfg.QoSQuantile),
+		MaxQueue: maxQ,
+		Requests: lat.N(),
+	}
+	r.MeetsQoS = r.QoSMs <= cfg.QoSTargetMs
+	return r, nil
+}
+
+// PeakLoad finds the highest arrival rate (req/s) that still meets the QoS
+// target at full performance — the paper's "peak sustainable load" that
+// anchors the X axes of Figs. 1 and 2.
+func PeakLoad(cfg Config, nRequests int, seed uint64) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	// The saturation rate of the worker pool bounds the search.
+	satRate := float64(cfg.Workers) * 1000 / cfg.MeanServiceMs
+	lo, hi := satRate*0.05, satRate*1.2
+	for i := 0; i < 24; i++ {
+		mid := (lo + hi) / 2
+		res, err := Simulate(cfg, mid, nRequests, 1.0, seed)
+		if err != nil {
+			return 0, err
+		}
+		if res.MeetsQoS {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// LoadCurve returns mean/p95/p99 latency at the given fractions of peak
+// load (Fig. 1).
+func LoadCurve(cfg Config, peak float64, fractions []float64, nRequests int, seed uint64) ([]Result, error) {
+	out := make([]Result, 0, len(fractions))
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("queueing: non-positive load fraction %v", f)
+		}
+		r, err := Simulate(cfg, peak*f, nRequests, 1.0, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package queueing
+
+import (
+	"testing"
+)
+
+func cfg() Config {
+	return Config{
+		Workers:       8,
+		MeanServiceMs: 5,
+		ServiceCV:     1.0,
+		BurstProb:     0.1,
+		BurstLen:      3,
+		QoSQuantile:   0.99,
+		QoSTargetMs:   100,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := cfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.MeanServiceMs = 0 },
+		func(c *Config) { c.ServiceCV = -1 },
+		func(c *Config) { c.QoSQuantile = 1.2 },
+		func(c *Config) { c.QoSTargetMs = 0 },
+	}
+	for i, m := range bad {
+		c := cfg()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateArgumentChecks(t *testing.T) {
+	if _, err := Simulate(cfg(), 0, 1000, 1, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Simulate(cfg(), 100, 0, 1, 1); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	if _, err := Simulate(cfg(), 100, 1000, 0, 1); err == nil {
+		t.Fatal("zero perf accepted")
+	}
+	if _, err := Simulate(cfg(), 100, 1000, 1.5, 1); err == nil {
+		t.Fatal("perf > 1 accepted")
+	}
+}
+
+func TestLatencyOrderingAndGrowth(t *testing.T) {
+	c := cfg()
+	low, err := Simulate(c, 100, 30000, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(low.MeanMs <= low.P95Ms && low.P95Ms <= low.P99Ms) {
+		t.Fatalf("percentile ordering violated: %+v", low)
+	}
+	if low.MeanMs < c.MeanServiceMs*0.8 {
+		t.Fatalf("latency below service time: %v", low.MeanMs)
+	}
+	// Near saturation (8 workers × 200/s = 1600/s capacity).
+	high, err := Simulate(c, 1500, 30000, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.P99Ms <= low.P99Ms*1.5 {
+		t.Fatalf("tail did not grow with load: %v -> %v", low.P99Ms, high.P99Ms)
+	}
+	// The tail must grow by more milliseconds than the mean (queueing
+	// delay dominates the tail, Fig. 1).
+	if high.P99Ms-low.P99Ms <= high.MeanMs-low.MeanMs {
+		t.Fatal("p99 should grow by more than the mean with load")
+	}
+}
+
+func TestPerfFactorStretchesService(t *testing.T) {
+	full, err := Simulate(cfg(), 100, 30000, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Simulate(cfg(), 100, 30000, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := half.MeanMs / full.MeanMs
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("halving performance scaled mean latency by %v, want ~2", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Simulate(cfg(), 400, 20000, 1, 99)
+	b, _ := Simulate(cfg(), 400, 20000, 1, 99)
+	if a != b {
+		t.Fatal("same-seed simulations diverged")
+	}
+	c, _ := Simulate(cfg(), 400, 20000, 1, 100)
+	if a == c {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestPeakLoadBracketsQoS(t *testing.T) {
+	c := cfg()
+	peak, err := PeakLoad(c, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak <= 0 {
+		t.Fatal("non-positive peak")
+	}
+	at, err := Simulate(c, peak*0.95, 20000, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !at.MeetsQoS {
+		t.Fatalf("95%% of peak violates QoS: p-tail %vms", at.QoSMs)
+	}
+	over, err := Simulate(c, peak*1.3, 20000, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.MeetsQoS {
+		t.Fatal("30% beyond peak still meets QoS — peak search too conservative")
+	}
+}
+
+func TestLoadCurveShape(t *testing.T) {
+	c := cfg()
+	peak, err := PeakLoad(c, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := LoadCurve(c, peak, []float64{0.2, 0.5, 0.8, 1.0}, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].P99Ms < rs[i-1].P99Ms*0.8 {
+			t.Fatalf("p99 fell substantially with load: %v -> %v", rs[i-1].P99Ms, rs[i].P99Ms)
+		}
+	}
+	if _, err := LoadCurve(c, peak, []float64{0}, 1000, 5); err == nil {
+		t.Fatal("zero load fraction accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// streams for the simulator.
+//
+// Every stochastic component of the simulation (trace generation, arrival
+// processes, sampling offsets) draws from its own Stream seeded from a
+// user-visible experiment seed, so that repeated runs are bit-identical and
+// independent components never perturb one another's sequences.
+package rng
+
+import "math"
+
+// Stream is a splitmix64 generator. The zero value is a valid stream seeded
+// with zero; use New to derive well-separated streams.
+type Stream struct {
+	state uint64
+}
+
+// New returns a stream seeded from seed. Distinct seeds give statistically
+// independent sequences.
+func New(seed uint64) *Stream {
+	return &Stream{state: seed}
+}
+
+// Derive returns a new stream whose sequence is independent of s for any
+// pair (s, label). It does not advance s.
+func (s *Stream) Derive(label uint64) *Stream {
+	return New(mix(s.state ^ mix(label^0x9e3779b97f4a7c15)))
+}
+
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (s *Stream) Exp(mean float64) float64 {
+	u := s.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Geometric returns a geometrically distributed integer >= 1 with the given
+// mean (mean must be >= 1).
+func (s *Stream) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := s.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	n := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// LogNormal returns a log-normally distributed value parameterised by the
+// mean and coefficient of variation of the resulting distribution.
+func (s *Stream) LogNormal(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*s.Normal())
+}
+
+// Normal returns a standard normal variate (Box-Muller).
+func (s *Stream) Normal() float64 {
+	u1 := s.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Zipf returns a Zipf-distributed integer in [0, n) with exponent theta in
+// (0, 1). It uses the rejection-inversion-free bounded harmonic method,
+// which is adequate for the modest n used in the workload models.
+type Zipf struct {
+	cdf []float64
+	src *Stream
+}
+
+// NewZipf builds a Zipf sampler over n items with the given skew theta
+// (larger theta = more skew; theta of 0 is uniform).
+func NewZipf(src *Stream, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Next returns the next Zipf-distributed rank in [0, len).
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

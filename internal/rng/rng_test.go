@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with the same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical values", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	base := New(7)
+	a := base.Derive(1)
+	b := base.Derive(2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("derived streams with different labels collide immediately")
+	}
+	// Deriving must not advance the parent.
+	c := New(7)
+	c.Derive(1)
+	d := New(7)
+	if c.Uint64() != d.Uint64() {
+		t.Fatal("Derive advanced the parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		if n > 1<<20 {
+			n %= 1 << 20
+			n++
+		}
+		v := New(seed).Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(10)
+	}
+	mean := sum / n
+	if mean < 9.8 || mean > 10.2 {
+		t.Fatalf("Exp(10) mean = %v, want ~10", mean)
+	}
+}
+
+func TestGeometricMeanAndFloor(t *testing.T) {
+	s := New(6)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g := s.Geometric(6)
+		if g < 1 {
+			t.Fatalf("Geometric returned %d < 1", g)
+		}
+		sum += float64(g)
+	}
+	mean := sum / n
+	if mean < 5.5 || mean > 6.5 {
+		t.Fatalf("Geometric(6) mean = %v, want ~6", mean)
+	}
+	if g := s.Geometric(0.5); g != 1 {
+		t.Fatalf("Geometric(<1) = %d, want 1", g)
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	s := New(8)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.LogNormal(20, 1.0)
+		if v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 19 || mean > 21 {
+		t.Fatalf("LogNormal(20,1) mean = %v, want ~20", mean)
+	}
+	if s.LogNormal(0, 1) != 0 {
+		t.Fatal("LogNormal with zero mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(9)
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sq += v * v
+	}
+	mean, std := sum/n, math.Sqrt(sq/n)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Normal mean = %v, want ~0", mean)
+	}
+	if std < 0.98 || std > 1.02 {
+		t.Fatalf("Normal std = %v, want ~1", std)
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	src := New(10)
+	z := NewZipf(src, 100, 0.9)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := z.Next()
+		if r < 0 || r >= 100 {
+			t.Fatalf("Zipf rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Uniform when theta = 0.
+	z0 := NewZipf(New(11), 10, 0)
+	c0 := make([]int, 10)
+	for i := 0; i < n; i++ {
+		c0[z0.Next()]++
+	}
+	for i, c := range c0 {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("Zipf(theta=0) not uniform: bucket %d has %d", i, c)
+		}
+	}
+}
+
+func TestZipfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(12)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}

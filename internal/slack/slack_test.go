@@ -1,0 +1,144 @@
+package slack
+
+import (
+	"testing"
+
+	"stretch/internal/queueing"
+)
+
+func qcfg() queueing.Config {
+	return queueing.Config{
+		Workers:       8,
+		MeanServiceMs: 5,
+		ServiceCV:     1.0,
+		BurstProb:     0.1,
+		BurstLen:      3,
+		QoSQuantile:   0.99,
+		QoSTargetMs:   100,
+	}
+}
+
+func TestModulatorConvergesToDutyCycle(t *testing.T) {
+	m := Modulator{QuantumMs: 0.1, Fraction: 0.5}
+	perf, err := m.EffectivePerf(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantum ≪ service time: effective perf ≈ duty cycle.
+	if perf < 0.49 || perf > 0.51 {
+		t.Fatalf("effective perf = %v, want ~0.5", perf)
+	}
+	// Coarse quantum hurts more.
+	coarse := Modulator{QuantumMs: 5, Fraction: 0.5}
+	cPerf, err := coarse.EffectivePerf(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cPerf >= perf {
+		t.Fatalf("coarse quantum should cost extra: %v >= %v", cPerf, perf)
+	}
+}
+
+func TestModulatorValidation(t *testing.T) {
+	bad := []Modulator{
+		{QuantumMs: 0.1, Fraction: 0},
+		{QuantumMs: 0.1, Fraction: 1.5},
+		{QuantumMs: 0, Fraction: 0.5},
+	}
+	for i, m := range bad {
+		if _, err := m.EffectivePerf(10); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := (Modulator{QuantumMs: 0.1, Fraction: 0.5}).EffectivePerf(0); err == nil {
+		t.Error("zero service time accepted")
+	}
+}
+
+func TestRequiredPerfMonotoneInLoad(t *testing.T) {
+	c := qcfg()
+	peak, err := queueing.PeakLoad(c, 15000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := RequiredPerf(c, peak*0.2, 15000, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RequiredPerf(c, peak*0.9, 15000, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > high {
+		t.Fatalf("required perf fell with load: %v@20%% vs %v@90%%", low, high)
+	}
+	if high < 0.5 {
+		t.Fatalf("near-peak required perf %v implausibly low", high)
+	}
+	if low > 0.7 {
+		t.Fatalf("low-load required perf %v implausibly high (no slack)", low)
+	}
+}
+
+func TestRequiredPerfOverload(t *testing.T) {
+	c := qcfg()
+	// Far beyond saturation: even full performance fails -> 1.
+	rp, err := RequiredPerf(c, 10000, 10000, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp != 1 {
+		t.Fatalf("overloaded RequiredPerf = %v, want 1", rp)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	c := qcfg()
+	peak, err := queueing.PeakLoad(c, 15000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Curve(c, peak, []float64{0.2, 0.5, 0.8}, 15000, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Slack != 1-p.RequiredPerf {
+			t.Fatal("slack identity broken")
+		}
+	}
+	if pts[0].Slack < pts[2].Slack {
+		t.Fatalf("slack must shrink with load: %v < %v", pts[0].Slack, pts[2].Slack)
+	}
+	if _, err := Curve(c, peak, []float64{0.5}, 1000, 1.5, 9); err == nil {
+		t.Fatal("bad resolution accepted")
+	}
+}
+
+func TestTolerates(t *testing.T) {
+	c := qcfg()
+	peak, err := queueing.PeakLoad(c, 15000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Tolerates(c, peak, 0.3, 0.07, 15000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("7% slowdown at 30% load should be tolerable")
+	}
+	ok, err = Tolerates(c, peak, 1.0, 0.5, 15000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("50% slowdown at peak load should violate QoS")
+	}
+	if _, err := Tolerates(c, peak, 0.5, 1.5, 1000, 4); err == nil {
+		t.Fatal("slowdown >= 1 accepted")
+	}
+}

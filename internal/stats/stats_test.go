@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningAgainstDirect(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if math.Abs(r.Mean()-mean) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", r.Mean(), mean)
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / float64(len(xs)-1)
+	if math.Abs(r.Variance()-wantVar) > 1e-9 {
+		t.Fatalf("variance = %v, want %v", r.Variance(), wantVar)
+	}
+	if r.Min() != 1 || r.Max() != 9 || r.N() != len(xs) {
+		t.Fatalf("min/max/n = %v/%v/%v", r.Min(), r.Max(), r.N())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdDev() != 0 {
+		t.Fatal("zero-value Running should report zeros")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 0.5 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestSampleEmptyAndInterleaved(t *testing.T) {
+	s := NewSample(4)
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	s.Add(10)
+	if s.Quantile(0.5) != 10 {
+		t.Fatal("single-element quantile")
+	}
+	s.Add(20) // add after a quantile call must re-sort
+	if got := s.Quantile(1); got != 20 {
+		t.Fatalf("max after interleaved add = %v", got)
+	}
+}
+
+func TestQuantileOrderingProperty(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Sample{xs: append([]float64(nil), clean...)}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := s.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	v := Summarize([]float64{5, 1, 9, 3, 7})
+	if !(v.Min <= v.Q1 && v.Q1 <= v.Median && v.Median <= v.Q3 && v.Q3 <= v.Max) {
+		t.Fatalf("violin not ordered: %+v", v)
+	}
+	if v.N != 5 || v.Min != 1 || v.Max != 9 || v.Median != 5 {
+		t.Fatalf("violin fields wrong: %+v", v)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summarize should be zero")
+	}
+	if v.String() == "" {
+		t.Fatal("violin String empty")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if !sort.Float64sAreSorted(xs[:0]) && (xs[0] != 3 || xs[1] != 1 || xs[2] != 2) {
+		t.Fatalf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestHistogramTails(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 || h.Bins() != 10 {
+		t.Fatalf("total/bins = %v/%v", h.Total(), h.Bins())
+	}
+	if got := h.TailFraction(0); got != 1 {
+		t.Fatalf("TailFraction(0) = %v", got)
+	}
+	if got := h.TailFraction(5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TailFraction(5) = %v, want 0.5", got)
+	}
+	if got := h.Fraction(3); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Fraction(3) = %v, want 0.1", got)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	if h.Fraction(0) != 0.5 || h.Fraction(4) != 0.5 {
+		t.Fatal("out-of-range values should clamp to edge bins")
+	}
+	if h.TailFraction(-3) != 1 {
+		t.Fatal("negative tail index should clamp to 0")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with hi<=lo did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestAggregates(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if m := Mean(xs); math.Abs(m-7.0/3) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Max(xs); m != 4 {
+		t.Fatalf("Max = %v", m)
+	}
+	if m := Min(xs); m != 1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if g := GeoMean(xs); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("GeoMean edge cases")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stretch/internal/isa"
+)
+
+// testProfile returns a small valid profile for generator tests.
+func testProfile() Profile {
+	return Profile{
+		Name:          "test",
+		Class:         Batch,
+		Mix:           Mix{Load: 0.25, Store: 0.08, Branch: 0.03, FP: 0.20, Mul: 0.02},
+		CodeFootprint: 64 << 10,
+		HotCodeBytes:  16 << 10,
+		HotCodeProb:   0.9,
+		BlockLen:      8,
+		DataFootprint: 8 << 20,
+		HotDataBytes:  32 << 10,
+		WarmDataBytes: 1 << 20,
+		HotDataProb:   0.7,
+		WarmDataProb:  0.2,
+		StreamFrac:    0.2,
+		StreamSites:   4,
+		ChaseFrac:     0.2,
+		DepProb:       0.6,
+		DepMean:       6,
+		DepTwoFrac:    0.2,
+		BranchNoise:   0.02,
+		TakenBias:     0.5,
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := NewGenerator(testProfile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(testProfile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("same-seed generators diverged at op %d: %+v vs %+v", i, x, y)
+		}
+	}
+	if a.Emitted() != 20000 {
+		t.Fatalf("Emitted = %d", a.Emitted())
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := NewGenerator(testProfile(), 1)
+	b, _ := NewGenerator(testProfile(), 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical ops", same)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := func(mut func(*Profile)) Profile {
+		p := testProfile()
+		mut(&p)
+		return p
+	}
+	cases := map[string]Profile{
+		"no name":       bad(func(p *Profile) { p.Name = "" }),
+		"bad mix":       bad(func(p *Profile) { p.Mix.Load = 1.5 }),
+		"tiny code":     bad(func(p *Profile) { p.CodeFootprint = 10 }),
+		"no hot tiers":  bad(func(p *Profile) { p.HotDataBytes = 0 }),
+		"bad hot prob":  bad(func(p *Profile) { p.HotCodeProb = 1.5 }),
+		"tier overflow": bad(func(p *Profile) { p.HotDataProb, p.WarmDataProb = 0.8, 0.5 }),
+		"short blocks":  bad(func(p *Profile) { p.BlockLen = 1 }),
+		"load fracs":    bad(func(p *Profile) { p.StreamFrac, p.ChaseFrac = 0.8, 0.5 }),
+		"no sites":      bad(func(p *Profile) { p.StreamSites = 0 }),
+		"bad deps":      bad(func(p *Profile) { p.DepMean = 0 }),
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid profile", name)
+		}
+		if _, err := NewGenerator(p, 1); err == nil {
+			t.Errorf("%s: NewGenerator accepted invalid profile", name)
+		}
+	}
+	good := testProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+func TestMixApproximatelyHonoured(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 7)
+	counts := make(map[isa.OpKind]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	loadFrac := float64(counts[isa.OpLoad]) / n
+	if loadFrac < 0.20 || loadFrac > 0.30 {
+		t.Errorf("load fraction = %.3f, want ~0.25", loadFrac)
+	}
+	fpFrac := float64(counts[isa.OpFP]) / n
+	if fpFrac < 0.15 || fpFrac > 0.25 {
+		t.Errorf("fp fraction = %.3f, want ~0.20", fpFrac)
+	}
+	// Terminators add branches beyond the mix fraction.
+	brFrac := float64(counts[isa.OpBranch]) / n
+	if brFrac < 0.05 || brFrac > 0.25 {
+		t.Errorf("branch fraction = %.3f", brFrac)
+	}
+}
+
+func TestDependenceBounds(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 9)
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Dep1 < 0 || op.Dep1 > 255 {
+			t.Fatalf("op %d Dep1 = %d out of [0,255]", i, op.Dep1)
+		}
+		if op.Dep2 < 0 || op.Dep2 > 255 {
+			t.Fatalf("op %d Dep2 = %d out of [0,255]", i, op.Dep2)
+		}
+		if int64(op.Dep1) > int64(i+1) {
+			t.Fatalf("op %d depends beyond the start of the trace (%d)", i, op.Dep1)
+		}
+	}
+}
+
+func TestStableKindsPerPC(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 11)
+	kinds := make(map[uint64]isa.OpKind)
+	for i := 0; i < 100000; i++ {
+		op := g.Next()
+		// Branch terminators share PCs with nothing else; loads keep
+		// their behaviourally-relevant kind stable.
+		if prev, ok := kinds[op.PC]; ok {
+			if prev != op.Kind {
+				t.Fatalf("PC %#x changed kind %v -> %v", op.PC, prev, op.Kind)
+			}
+		} else {
+			kinds[op.PC] = op.Kind
+		}
+	}
+}
+
+func TestBranchSitesDeterministicWithoutNoise(t *testing.T) {
+	p := testProfile()
+	p.BranchNoise = 0
+	g, _ := NewGenerator(p, 13)
+	dir := make(map[uint64]bool)
+	for i := 0; i < 100000; i++ {
+		op := g.Next()
+		if op.Kind != isa.OpBranch {
+			continue
+		}
+		if prev, ok := dir[op.PC]; ok {
+			if prev != op.Taken {
+				t.Fatalf("noise-free branch site %#x changed direction", op.PC)
+			}
+		} else {
+			dir[op.PC] = op.Taken
+		}
+	}
+}
+
+func TestChaseLoadsDependOnPreviousLoad(t *testing.T) {
+	p := testProfile()
+	p.ChaseFrac = 1.0
+	p.StreamFrac = 0
+	g, _ := NewGenerator(p, 15)
+	lastLoad := -1
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind != isa.OpLoad {
+			continue
+		}
+		if lastLoad >= 0 {
+			want := i - lastLoad
+			if want <= 255 && int(op.Dep1) != want {
+				t.Fatalf("chase load at %d: Dep1 = %d, want %d", i, op.Dep1, want)
+			}
+		}
+		lastLoad = i
+	}
+}
+
+func TestStreamAddressesStride(t *testing.T) {
+	p := testProfile()
+	p.StreamFrac = 1.0
+	p.ChaseFrac = 0
+	p.StreamSites = 1
+	p.Mix.Store = 0 // only loads walk the stream
+	g, _ := NewGenerator(p, 17)
+	var last uint64
+	seen := 0
+	for i := 0; i < 5000 && seen < 100; i++ {
+		op := g.Next()
+		if op.Kind != isa.OpLoad {
+			continue
+		}
+		if seen > 0 && op.Addr != last+16 && op.Addr > last {
+			t.Fatalf("stream stride broken: %#x -> %#x", last, op.Addr)
+		}
+		last = op.Addr
+		seen++
+	}
+	if seen < 100 {
+		t.Fatal("too few stream loads observed")
+	}
+}
+
+func TestAddressesWithinRegions(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 19)
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Kind.IsMem() && op.Addr < hotDataBase {
+			t.Fatalf("data address %#x below data base", op.Addr)
+		}
+		if op.PC < codeBase || op.PC > codeBase+1<<30 {
+			t.Fatalf("PC %#x outside code region", op.PC)
+		}
+	}
+}
+
+func TestTakenBranchTargetsBlockStarts(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 21)
+	var prev isa.MicroOp
+	havePrev := false
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if havePrev && prev.Kind == isa.OpBranch && prev.Taken {
+			if op.PC != prev.Target {
+				t.Fatalf("taken branch target %#x but next PC %#x", prev.Target, op.PC)
+			}
+		}
+		prev, havePrev = op, true
+	}
+}
+
+func TestGeneratorQuickProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		g, err := NewGenerator(testProfile(), seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			op := g.Next()
+			if op.Kind == isa.OpBranch && op.Taken && op.Target == 0 {
+				return false // taken branches must carry a target
+			}
+			if op.Kind.IsMem() && op.Addr == 0 {
+				return false // memory ops must carry an address
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package workload catalogues the 33 workloads the paper evaluates: the four
+// CloudSuite latency-sensitive services (Tables I and III) and the 29 SPEC
+// CPU2006 batch benchmarks, each expressed as a trace.Profile plus, for the
+// services, the request-level parameters driving the queueing model.
+//
+// Profile parameters follow the public characterisations the paper cites
+// (CloudSuite / "Clearing the Clouds" for the services; standard SPEC
+// memory-behaviour studies for the batch suite): services get multi-MB code
+// footprints, pointer-dependent loads and low MLP; batch benchmarks span
+// compute-bound (povray, gamess) to memory-streaming with high MLP
+// (zeusmp, bwaves, libquantum, lbm). Absolute rates are calibrated so the
+// modelled core reproduces the paper's relative sensitivities, not any
+// particular machine's absolute IPC.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"stretch/internal/trace"
+)
+
+// Service describes one latency-sensitive workload: its µarch profile and
+// the request-level behaviour used by the queueing and slack studies.
+type Service struct {
+	Profile trace.Profile
+
+	// Description matches Table I / Table III.
+	Description string
+	// QoSMetric names the constrained statistic, e.g. "99th percentile".
+	QoSMetric string
+	// QoSQuantile is the constrained quantile (0.99, 0.95, ...).
+	QoSQuantile float64
+	// QoSTargetMs is the latency limit in milliseconds.
+	QoSTargetMs float64
+	// Workers is the number of concurrent request-serving threads.
+	Workers int
+	// MeanServiceMs is the mean per-request service time at full
+	// single-thread performance.
+	MeanServiceMs float64
+	// ServiceCV is the coefficient of variation of service time.
+	ServiceCV float64
+	// BurstProb is the probability an arrival is a burst head bringing
+	// BurstLen-1 immediate followers (bursty request arrival, §II).
+	BurstProb float64
+	// BurstLen is the mean burst length.
+	BurstLen float64
+}
+
+// Names of the four latency-sensitive services.
+const (
+	DataServing    = "data-serving"
+	WebServing     = "web-serving"
+	WebSearch      = "web-search"
+	MediaStreaming = "media-streaming"
+)
+
+// Zeusmp is the high-MLP batch exemplar used in Figs. 6 and 7.
+const Zeusmp = "zeusmp"
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// lsProfile builds a scale-out-service profile: branchy integer code with a
+// multi-MB instruction footprint, dependent (pointer-chasing) data accesses
+// and essentially no exploitable MLP.
+func lsProfile(name string, codeMB float64, dataMB int64, hotCodeProb, chase, stream float64) trace.Profile {
+	return trace.Profile{
+		Name:          name,
+		Class:         trace.LatencySensitive,
+		Mix:           trace.Mix{Load: 0.24, Store: 0.08, Branch: 0.08, FP: 0.01, Mul: 0.02},
+		CodeFootprint: int64(codeMB * float64(mb)),
+		HotCodeBytes:  40 * kb,
+		HotCodeProb:   hotCodeProb,
+		BlockLen:      7,
+		DataFootprint: dataMB * mb,
+		HotDataBytes:  24 * kb,
+		WarmDataBytes: 2 * mb,
+		HotDataProb:   0.84,
+		WarmDataProb:  0.15,
+		StreamFrac:    stream,
+		StreamSites:   2,
+		ChaseFrac:     chase,
+		DepProb:       0.75,
+		DepMean:       5,
+		DepTwoFrac:    0.30,
+		BranchNoise:   0.050,
+		TakenBias:     0.55,
+	}
+}
+
+// Services returns the four latency-sensitive services keyed by name.
+func Services() map[string]Service {
+	return map[string]Service{
+		DataServing: {
+			Profile:       lsProfile(DataServing, 1.2, 24, 0.84, 0.55, 0.03),
+			Description:   "Apache Cassandra, 95:5 read-to-write",
+			QoSMetric:     "99th percentile",
+			QoSQuantile:   0.99,
+			QoSTargetMs:   20,
+			Workers:       15,
+			MeanServiceMs: 3.2,
+			ServiceCV:     0.4,
+			BurstProb:     0.005,
+			BurstLen:      18,
+		},
+		WebServing: {
+			Profile:       lsProfile(WebServing, 1.6, 32, 0.82, 0.48, 0.05),
+			Description:   "Elgg/Nginx front-end with MySQL back-end",
+			QoSMetric:     "95th percentile",
+			QoSQuantile:   0.95,
+			QoSTargetMs:   1000,
+			Workers:       10,
+			MeanServiceMs: 170,
+			ServiceCV:     0.5,
+			BurstProb:     0.005,
+			BurstLen:      12,
+		},
+		WebSearch: {
+			Profile:       lsProfile(WebSearch, 1.4, 48, 0.85, 0.50, 0.04),
+			Description:   "Nutch/Lucene index serving",
+			QoSMetric:     "99th percentile",
+			QoSQuantile:   0.99,
+			QoSTargetMs:   100,
+			Workers:       16,
+			MeanServiceMs: 17,
+			ServiceCV:     0.4,
+			BurstProb:     0.005,
+			BurstLen:      20,
+		},
+		MediaStreaming: {
+			Profile:       lsProfile(MediaStreaming, 0.9, 40, 0.88, 0.42, 0.18),
+			Description:   "Darwin/Nginx streaming at high bitrates",
+			QoSMetric:     "timeout",
+			QoSQuantile:   0.99,
+			QoSTargetMs:   2000,
+			Workers:       12,
+			MeanServiceMs: 60,
+			ServiceCV:     0.5,
+			BurstProb:     0.004,
+			BurstLen:      18,
+		},
+	}
+}
+
+// ServiceNames returns the service names in the paper's presentation order.
+func ServiceNames() []string {
+	return []string{DataServing, WebServing, WebSearch, MediaStreaming}
+}
+
+// batchSpec concentrates the knobs that set a batch benchmark's ROB
+// sensitivity: coldProb×(1-stream-chase)×loadFrac sets the independent
+// miss density a large window can overlap, chase serialises, and
+// depMean/depProb set base ILP.
+type batchSpec struct {
+	name     string
+	fp       bool    // FP-heavy mix
+	codeKB   int64   // cold code footprint
+	dataMB   int64   // cold data footprint
+	hotP     float64 // hot-tier probability for scatter/chase accesses
+	warmP    float64 // warm (LLC) tier probability
+	stream   float64 // streaming fraction of loads/stores
+	sites    int     // concurrent stream walkers
+	chase    float64 // pointer-chase fraction of loads
+	depMean  float64
+	depProb  float64
+	brNoise  float64
+	storeFix float64 // override store fraction (0 = default)
+}
+
+func (s batchSpec) profile() trace.Profile {
+	mix := trace.Mix{Load: 0.22, Store: 0.07, Branch: 0.06, FP: 0.00, Mul: 0.02}
+	if s.fp {
+		mix = trace.Mix{Load: 0.24, Store: 0.06, Branch: 0.02, FP: 0.30, Mul: 0.01}
+	}
+	if s.storeFix > 0 {
+		mix.Store = s.storeFix
+	}
+	sites := s.sites
+	if sites == 0 {
+		sites = 4
+	}
+	return trace.Profile{
+		Name:          s.name,
+		Class:         trace.Batch,
+		Mix:           mix,
+		CodeFootprint: s.codeKB * kb,
+		HotCodeBytes:  16 * kb,
+		HotCodeProb:   0.97,
+		BlockLen:      9,
+		DataFootprint: s.dataMB * mb,
+		HotDataBytes:  24 * kb,
+		WarmDataBytes: 2 * mb,
+		HotDataProb:   s.hotP,
+		WarmDataProb:  s.warmP,
+		StreamFrac:    s.stream,
+		StreamSites:   sites,
+		ChaseFrac:     s.chase,
+		DepProb:       s.depProb,
+		DepMean:       s.depMean,
+		DepTwoFrac:    0.25,
+		BranchNoise:   s.brNoise,
+		TakenBias:     0.5,
+	}
+}
+
+// batchSpecs is the 29-benchmark SPEC CPU2006 stand-in suite.
+//
+// Grouping intent (cold scatter density drives ROB sensitivity):
+//   - very ROB-sensitive, memory-bound with MLP: zeusmp, bwaves, leslie3d,
+//     GemsFDTD, libquantum, milc, mcf, lbm, soplex, cactusADM
+//   - moderately sensitive: sphinx3, wrf, omnetpp, xalancbmk, astar, gcc,
+//     bzip2, hmmer, h264ref, dealII, gromacs, perlbench
+//   - compute-bound, insensitive: gamess, povray, namd, tonto, calculix,
+//     gobmk, sjeng
+var batchSpecs = []batchSpec{
+	{name: "astar", codeKB: 48, dataMB: 24, hotP: 0.82, warmP: 0.10, stream: 0.02, chase: 0.25, depMean: 5, depProb: 0.70, brNoise: 0.055},
+	{name: "bwaves", fp: true, codeKB: 48, dataMB: 96, hotP: 0.62, warmP: 0.16, stream: 0.30, sites: 6, chase: 0, depMean: 9, depProb: 0.60, brNoise: 0.004},
+	{name: "bzip2", codeKB: 64, dataMB: 10, hotP: 0.86, warmP: 0.09, stream: 0.18, chase: 0.05, depMean: 8, depProb: 0.60, brNoise: 0.045},
+	{name: "cactusADM", fp: true, codeKB: 80, dataMB: 64, hotP: 0.72, warmP: 0.14, stream: 0.25, sites: 6, chase: 0, depMean: 8, depProb: 0.62, brNoise: 0.003},
+	{name: "calculix", fp: true, codeKB: 96, dataMB: 2, hotP: 0.94, warmP: 0.02, stream: 0.08, chase: 0.02, depMean: 11, depProb: 0.52, brNoise: 0.010},
+	{name: "dealII", fp: true, codeKB: 160, dataMB: 12, hotP: 0.88, warmP: 0.08, stream: 0.12, chase: 0.08, depMean: 8, depProb: 0.60, brNoise: 0.020},
+	{name: "gamess", fp: true, codeKB: 128, dataMB: 1, hotP: 0.96, warmP: 0.012, stream: 0.03, chase: 0.02, depMean: 11, depProb: 0.52, brNoise: 0.012},
+	{name: "gcc", codeKB: 512, dataMB: 20, hotP: 0.85, warmP: 0.09, stream: 0.08, chase: 0.12, depMean: 5, depProb: 0.70, brNoise: 0.040},
+	{name: "GemsFDTD", fp: true, codeKB: 64, dataMB: 96, hotP: 0.66, warmP: 0.16, stream: 0.30, sites: 8, chase: 0, depMean: 8.5, depProb: 0.60, brNoise: 0.003},
+	{name: "gobmk", codeKB: 192, dataMB: 2, hotP: 0.94, warmP: 0.02, stream: 0.02, chase: 0.06, depMean: 8, depProb: 0.60, brNoise: 0.080},
+	{name: "gromacs", fp: true, codeKB: 96, dataMB: 4, hotP: 0.92, warmP: 0.02, stream: 0.08, chase: 0.02, depMean: 11, depProb: 0.52, brNoise: 0.010},
+	{name: "h264ref", codeKB: 128, dataMB: 6, hotP: 0.89, warmP: 0.07, stream: 0.25, chase: 0.03, depMean: 8, depProb: 0.60, brNoise: 0.025},
+	{name: "hmmer", codeKB: 48, dataMB: 4, hotP: 0.90, warmP: 0.03, stream: 0.20, chase: 0.01, depMean: 11, depProb: 0.52, brNoise: 0.008},
+	{name: "lbm", fp: true, codeKB: 32, dataMB: 128, hotP: 0.54, warmP: 0.14, stream: 0.60, sites: 12, chase: 0, depMean: 9, depProb: 0.58, brNoise: 0.002, storeFix: 0.22},
+	{name: "leslie3d", fp: true, codeKB: 64, dataMB: 80, hotP: 0.68, warmP: 0.15, stream: 0.28, sites: 6, chase: 0, depMean: 8.5, depProb: 0.60, brNoise: 0.004},
+	{name: "libquantum", codeKB: 24, dataMB: 64, hotP: 0.58, warmP: 0.16, stream: 0.55, sites: 4, chase: 0, depMean: 10, depProb: 0.55, brNoise: 0.002},
+	{name: "mcf", codeKB: 32, dataMB: 160, hotP: 0.62, warmP: 0.16, stream: 0.02, chase: 0.12, depMean: 7, depProb: 0.62, brNoise: 0.050},
+	{name: "milc", fp: true, codeKB: 48, dataMB: 96, hotP: 0.68, warmP: 0.15, stream: 0.28, sites: 6, chase: 0, depMean: 8, depProb: 0.60, brNoise: 0.004},
+	{name: "namd", fp: true, codeKB: 96, dataMB: 3, hotP: 0.95, warmP: 0.015, stream: 0.06, chase: 0.02, depMean: 11, depProb: 0.52, brNoise: 0.008},
+	{name: "omnetpp", codeKB: 256, dataMB: 40, hotP: 0.80, warmP: 0.12, stream: 0.02, chase: 0.22, depMean: 5, depProb: 0.70, brNoise: 0.045},
+	{name: "perlbench", codeKB: 384, dataMB: 12, hotP: 0.89, warmP: 0.07, stream: 0.05, chase: 0.12, depMean: 5, depProb: 0.72, brNoise: 0.040},
+	{name: "povray", fp: true, codeKB: 144, dataMB: 1, hotP: 0.96, warmP: 0.012, stream: 0.02, chase: 0.03, depMean: 11, depProb: 0.52, brNoise: 0.020},
+	{name: "sjeng", codeKB: 96, dataMB: 2, hotP: 0.94, warmP: 0.02, stream: 0.02, chase: 0.05, depMean: 8, depProb: 0.60, brNoise: 0.075},
+	{name: "soplex", fp: true, codeKB: 128, dataMB: 64, hotP: 0.72, warmP: 0.14, stream: 0.20, sites: 4, chase: 0.06, depMean: 7, depProb: 0.64, brNoise: 0.015},
+	{name: "sphinx3", fp: true, codeKB: 96, dataMB: 32, hotP: 0.78, warmP: 0.12, stream: 0.25, sites: 4, chase: 0.03, depMean: 7, depProb: 0.64, brNoise: 0.015},
+	{name: "tonto", fp: true, codeKB: 160, dataMB: 2, hotP: 0.94, warmP: 0.02, stream: 0.05, chase: 0.02, depMean: 11, depProb: 0.52, brNoise: 0.012},
+	{name: "wrf", fp: true, codeKB: 128, dataMB: 48, hotP: 0.76, warmP: 0.13, stream: 0.25, sites: 6, chase: 0.01, depMean: 7.5, depProb: 0.62, brNoise: 0.006},
+	{name: "xalancbmk", codeKB: 320, dataMB: 24, hotP: 0.83, warmP: 0.10, stream: 0.04, chase: 0.18, depMean: 5, depProb: 0.70, brNoise: 0.045},
+	{name: Zeusmp, fp: true, codeKB: 64, dataMB: 96, hotP: 0.60, warmP: 0.16, stream: 0.30, sites: 8, chase: 0, depMean: 9.5, depProb: 0.58, brNoise: 0.003},
+}
+
+// BatchProfiles returns the 29 SPEC CPU2006 stand-in profiles keyed by name.
+func BatchProfiles() map[string]trace.Profile {
+	m := make(map[string]trace.Profile, len(batchSpecs))
+	for _, s := range batchSpecs {
+		m[s.name] = s.profile()
+	}
+	return m
+}
+
+// BatchNames returns the 29 batch benchmark names in sorted order.
+func BatchNames() []string {
+	names := make([]string, 0, len(batchSpecs))
+	for _, s := range batchSpecs {
+		names = append(names, s.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the profile for any known workload name.
+func Lookup(name string) (trace.Profile, error) {
+	if s, ok := Services()[name]; ok {
+		return s.Profile, nil
+	}
+	if p, ok := BatchProfiles()[name]; ok {
+		return p, nil
+	}
+	return trace.Profile{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// All returns every workload profile keyed by name.
+func All() map[string]trace.Profile {
+	m := make(map[string]trace.Profile)
+	for n, s := range Services() {
+		m[n] = s.Profile
+	}
+	for n, p := range BatchProfiles() {
+		m[n] = p
+	}
+	return m
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+
+	"stretch/internal/trace"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for name, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %s has mismatched name %q", name, p.Name)
+		}
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	if n := len(BatchProfiles()); n != 29 {
+		t.Fatalf("batch suite has %d benchmarks, want 29 (SPEC CPU2006)", n)
+	}
+	if n := len(Services()); n != 4 {
+		t.Fatalf("service set has %d entries, want 4", n)
+	}
+	if n := len(BatchNames()); n != 29 {
+		t.Fatalf("BatchNames has %d entries", n)
+	}
+	if n := len(All()); n != 33 {
+		t.Fatalf("All has %d entries, want 33", n)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	for _, n := range ServiceNames() {
+		p, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Class != trace.LatencySensitive {
+			t.Errorf("%s not marked latency-sensitive", n)
+		}
+	}
+	for _, n := range BatchNames() {
+		p, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Class != trace.Batch {
+			t.Errorf("%s not marked batch", n)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-workload"); err == nil {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+}
+
+func TestZeusmpPresent(t *testing.T) {
+	p, err := Lookup(Zeusmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChaseFrac != 0 {
+		t.Error("zeusmp must not pointer-chase (it is the high-MLP exemplar)")
+	}
+	if p.StreamFrac <= 0 {
+		t.Error("zeusmp must stream")
+	}
+}
+
+func TestServiceQoSFields(t *testing.T) {
+	for n, s := range Services() {
+		if s.QoSTargetMs <= 0 {
+			t.Errorf("%s: non-positive QoS target", n)
+		}
+		if s.QoSQuantile <= 0 || s.QoSQuantile >= 1 {
+			t.Errorf("%s: bad quantile %v", n, s.QoSQuantile)
+		}
+		if s.Workers <= 0 || s.MeanServiceMs <= 0 || s.ServiceCV < 0 {
+			t.Errorf("%s: bad queueing parameters", n)
+		}
+		if s.MeanServiceMs >= s.QoSTargetMs {
+			t.Errorf("%s: mean service %vms exceeds QoS target %vms", n, s.MeanServiceMs, s.QoSTargetMs)
+		}
+	}
+	ws := Services()[WebSearch]
+	if ws.QoSTargetMs != 100 || ws.QoSQuantile != 0.99 {
+		t.Error("Web Search target must be 100ms @ p99 (Table I)")
+	}
+	ds := Services()[DataServing]
+	if ds.QoSTargetMs != 20 {
+		t.Error("Data Serving target must be 20ms (Table I)")
+	}
+}
+
+func TestServicesAreChaseHeavyAndBigCode(t *testing.T) {
+	for _, n := range ServiceNames() {
+		p, _ := Lookup(n)
+		if p.ChaseFrac < 0.3 {
+			t.Errorf("%s: chase fraction %v too low for a scale-out service", n, p.ChaseFrac)
+		}
+		if p.CodeFootprint < 512<<10 {
+			t.Errorf("%s: code footprint %d too small for a scale-out service", n, p.CodeFootprint)
+		}
+	}
+}
+
+func TestBatchTiersSpanSensitivity(t *testing.T) {
+	// The suite must include clearly memory-bound and clearly compute-
+	// bound members for the spread of Figs. 6 and 10 to exist.
+	prof := BatchProfiles()
+	cold := func(p trace.Profile) float64 { return 1 - p.HotDataProb - p.WarmDataProb }
+	if cold(prof["zeusmp"]) < 0.1 {
+		t.Error("zeusmp must have substantial cold accesses")
+	}
+	if cold(prof["povray"]) > 0.05 {
+		t.Error("povray must be nearly cache-resident")
+	}
+	if cold(prof["gamess"]) > 0.05 {
+		t.Error("gamess must be nearly cache-resident")
+	}
+}

@@ -1,0 +1,242 @@
+// Package stretch is a library-level reproduction of "Stretch: Balancing
+// QoS and Throughput for Colocated Server Workloads on SMT Cores"
+// (Margaritov et al., HPCA 2019).
+//
+// Stretch is a software-controlled asymmetric ROB/LSQ partitioning
+// mechanism for dual-threaded SMT cores: when a latency-sensitive service
+// runs below peak load, its tail-latency slack lets system software shift
+// most of the instruction window to a colocated batch thread (B-mode),
+// boosting batch throughput without violating QoS; under high load the
+// skew can be reversed (Q-mode).
+//
+// The package exposes the three layers of the reproduction:
+//
+//   - a cycle-level SMT core model with programmable partition limit
+//     registers (Colocation, Solo);
+//   - the workload catalogue standing in for CloudSuite and SPEC CPU2006
+//     (Services, BatchWorkloads);
+//   - the software control plane and the full experiment suite
+//     regenerating every table and figure in the paper (Controller,
+//     RunExperiment, Experiments).
+//
+// Quick start:
+//
+//	col, _ := stretch.NewColocation(stretch.WebSearch, "zeusmp")
+//	res, _ := col.Measure()                      // equal partitioning
+//	col, _ = stretch.NewColocation(stretch.WebSearch, "zeusmp",
+//	    stretch.WithBMode())                     // 56-136 skew
+//	boosted, _ := col.Measure()
+package stretch
+
+import (
+	"fmt"
+
+	"stretch/internal/colocate"
+	"stretch/internal/core"
+	"stretch/internal/experiments"
+	"stretch/internal/monitor"
+	"stretch/internal/sampling"
+	"stretch/internal/trace"
+	"stretch/internal/workload"
+)
+
+// Names of the four latency-sensitive services (Table III).
+const (
+	DataServing    = workload.DataServing
+	WebServing     = workload.WebServing
+	WebSearch      = workload.WebSearch
+	MediaStreaming = workload.MediaStreaming
+)
+
+// Mode re-exports the Stretch operating modes.
+type Mode = core.Mode
+
+// Stretch operating modes (§IV): Baseline equal split, batch boost, QoS
+// boost.
+const (
+	ModeBaseline = core.ModeBaseline
+	ModeB        = core.ModeB
+	ModeQ        = core.ModeQ
+)
+
+// BModeSkew and QModeSkew are the paper's headline partition points: the
+// LS thread's ROB entries out of 192.
+const (
+	BModeSkew = experiments.BModeSkew
+	QModeSkew = experiments.QModeSkew
+)
+
+// Services returns the latency-sensitive workload names.
+func Services() []string { return workload.ServiceNames() }
+
+// BatchWorkloads returns the 29 SPEC CPU2006 stand-in names.
+func BatchWorkloads() []string { return workload.BatchNames() }
+
+// Option customises a Colocation.
+type Option func(*options) error
+
+type options struct {
+	cfg  core.Config
+	spec sampling.Spec
+}
+
+// WithBMode applies the headline batch-boost skew (56-136).
+func WithBMode() Option {
+	return func(o *options) error { return o.cfg.SetSkew(BModeSkew) }
+}
+
+// WithQMode applies the headline QoS-boost skew (136-56).
+func WithQMode() Option {
+	return func(o *options) error { return o.cfg.SetSkew(QModeSkew) }
+}
+
+// WithSkew applies an arbitrary partitioning: ls ROB entries for the
+// latency-sensitive thread, the rest for the batch thread.
+func WithSkew(lsEntries int) Option {
+	return func(o *options) error { return o.cfg.SetSkew(lsEntries) }
+}
+
+// WithDynamicROB replaces static partitioning with a dynamically shared
+// window (the Fig. 11 configuration).
+func WithDynamicROB() Option {
+	return func(o *options) error {
+		o.cfg.ROBPolicy = core.ROBDynamic
+		return nil
+	}
+}
+
+// WithConfig replaces the whole core configuration.
+func WithConfig(cfg core.Config) Option {
+	return func(o *options) error {
+		o.cfg = cfg
+		return nil
+	}
+}
+
+// WithSamples overrides the sampling budget (samples × (warmup+measure)
+// instructions per thread).
+func WithSamples(samples int, warmup, measure uint64) Option {
+	return func(o *options) error {
+		if samples <= 0 || measure == 0 {
+			return fmt.Errorf("stretch: invalid sampling budget")
+		}
+		o.spec = sampling.Spec{Samples: samples, Warmup: warmup, Measure: measure, Seed: o.spec.Seed}
+		return nil
+	}
+}
+
+// WithSeed reseeds the whole measurement.
+func WithSeed(seed uint64) Option {
+	return func(o *options) error {
+		o.spec.Seed = seed
+		return nil
+	}
+}
+
+// Colocation measures a latency-sensitive workload sharing an SMT core
+// with a batch workload.
+type Colocation struct {
+	ls, batch trace.Profile
+	opt       options
+}
+
+// NewColocation builds a colocation of the named workloads. The
+// latency-sensitive workload runs on hardware thread 0.
+func NewColocation(ls, batch string, opts ...Option) (*Colocation, error) {
+	lp, err := workload.Lookup(ls)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := workload.Lookup(batch)
+	if err != nil {
+		return nil, err
+	}
+	o := options{cfg: core.Default(), spec: sampling.Standard()}
+	for _, f := range opts {
+		if err := f(&o); err != nil {
+			return nil, err
+		}
+	}
+	return &Colocation{ls: lp, batch: bp, opt: o}, nil
+}
+
+// Result holds the measured IPC of both hardware threads.
+type Result struct {
+	// LSIPC and BatchIPC are sampled mean IPCs.
+	LSIPC, BatchIPC float64
+	// LS and Batch expose the full aggregated metrics.
+	LS, Batch sampling.Agg
+}
+
+// Measure runs the sampled simulation.
+func (c *Colocation) Measure() (Result, error) {
+	a0, a1, err := sampling.Colocated(c.opt.cfg, c.ls, c.batch, c.opt.spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{LSIPC: a0.IPC, BatchIPC: a1.IPC, LS: a0, Batch: a1}, nil
+}
+
+// Solo measures a workload alone on a full core (the normalisation
+// baseline used throughout the paper).
+func Solo(name string, opts ...Option) (sampling.Agg, error) {
+	p, err := workload.Lookup(name)
+	if err != nil {
+		return sampling.Agg{}, err
+	}
+	o := options{cfg: core.Solo(), spec: sampling.Standard()}
+	for _, f := range opts {
+		if err := f(&o); err != nil {
+			return sampling.Agg{}, err
+		}
+	}
+	return sampling.Solo(o.cfg, p, o.spec)
+}
+
+// Slowdown and Speedup are the normalisations used by every figure.
+var (
+	Slowdown = colocate.Slowdown
+	Speedup  = colocate.Speedup
+)
+
+// Controller re-exports the §IV-C software monitor.
+type Controller = monitor.Controller
+
+// ControllerConfig re-exports the monitor tuning.
+type ControllerConfig = monitor.Config
+
+// NewController builds the CPI2-style Stretch controller for a service
+// with the given tail-latency target.
+func NewController(targetMs float64) (*Controller, error) {
+	return monitor.New(monitor.DefaultConfig(targetMs))
+}
+
+// ExperimentScale selects fidelity for RunExperiment.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+const (
+	ScaleQuick = experiments.Quick
+	ScaleFull  = experiments.Full
+)
+
+// ExperimentTable is a printable experiment result.
+type ExperimentTable = experiments.Table
+
+// Experiments lists the available experiment ids in paper order.
+func Experiments() []string {
+	var ids []string
+	for _, n := range experiments.All() {
+		ids = append(ids, n.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one paper artifact ("fig9", "table2", ...).
+func RunExperiment(id string, scale ExperimentScale) (ExperimentTable, error) {
+	n, err := experiments.ByID(id)
+	if err != nil {
+		return ExperimentTable{}, err
+	}
+	return n.Run(experiments.NewContext(scale))
+}

@@ -1,0 +1,146 @@
+package stretch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalog(t *testing.T) {
+	if len(Services()) != 4 {
+		t.Fatalf("services = %d", len(Services()))
+	}
+	if len(BatchWorkloads()) != 29 {
+		t.Fatalf("batch = %d", len(BatchWorkloads()))
+	}
+	for _, n := range []string{DataServing, WebServing, WebSearch, MediaStreaming} {
+		found := false
+		for _, s := range Services() {
+			if s == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("service %s missing from catalogue", n)
+		}
+	}
+}
+
+func TestNewColocationErrors(t *testing.T) {
+	if _, err := NewColocation("nope", "zeusmp"); err == nil {
+		t.Fatal("unknown LS accepted")
+	}
+	if _, err := NewColocation(WebSearch, "nope"); err == nil {
+		t.Fatal("unknown batch accepted")
+	}
+	if _, err := NewColocation(WebSearch, "zeusmp", WithSkew(0)); err == nil {
+		t.Fatal("invalid skew accepted")
+	}
+	if _, err := NewColocation(WebSearch, "zeusmp", WithSamples(0, 1, 1)); err == nil {
+		t.Fatal("invalid sampling accepted")
+	}
+}
+
+func TestQuickColocationAndModes(t *testing.T) {
+	fast := WithSamples(2, 10000, 12000)
+
+	col, err := NewColocation(WebSearch, "zeusmp", fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := col.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LSIPC <= 0 || base.BatchIPC <= 0 {
+		t.Fatalf("bad IPCs %+v", base)
+	}
+
+	bm, err := NewColocation(WebSearch, "zeusmp", fast, WithBMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := bm.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Speedup(bres.BatchIPC, base.BatchIPC) <= 0 {
+		t.Error("B-mode did not speed up the batch thread")
+	}
+	if Speedup(bres.LSIPC, base.LSIPC) >= 0 {
+		t.Error("B-mode did not cost the LS thread")
+	}
+
+	qm, err := NewColocation(WebSearch, "zeusmp", fast, WithQMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qres, err := qm.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Speedup(qres.LSIPC, base.LSIPC) <= 0 {
+		t.Error("Q-mode did not speed up the LS thread")
+	}
+
+	dyn, err := NewColocation(WebSearch, "zeusmp", fast, WithDynamicROB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dyn.Measure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoloAndSeed(t *testing.T) {
+	fast := WithSamples(2, 8000, 10000)
+	a, err := Solo("zeusmp", fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solo("zeusmp", fast, WithSeed(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC == b.IPC {
+		t.Error("reseeding did not change the measurement")
+	}
+	if _, err := Solo("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestControllerFacade(t *testing.T) {
+	ctl, err := NewController(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Mode() != ModeBaseline {
+		t.Fatal("controller must start in baseline")
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 19 {
+		t.Fatalf("%d experiments", len(ids))
+	}
+	tab, err := RunExperiment("table2", ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "192 entries") {
+		t.Error("table2 output missing the ROB line")
+	}
+	if _, err := RunExperiment("nope", ScaleQuick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestModeConstants(t *testing.T) {
+	if BModeSkew != 56 || QModeSkew != 136 {
+		t.Fatal("headline skews must be 56-136 / 136-56")
+	}
+	if ModeB.String() != "B-mode" || ModeQ.String() != "Q-mode" {
+		t.Fatal("mode strings")
+	}
+}
