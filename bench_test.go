@@ -145,3 +145,35 @@ func BenchmarkQueueing(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkFleet1kCores seeds the fleet-scale perf trajectory: ~1k
+// controller-governed SMT cores drain a diurnal web-search day, reporting
+// simulated request throughput.
+func BenchmarkFleet1kCores(b *testing.B) {
+	const nCores = 63 * 16 // 1008
+	cfg := FleetConfig{
+		Servers: 63, CoresPerServer: 16,
+		Traffic: Traffic{
+			Windows: 6, WindowSec: 4 * 3600,
+			Clients: []TrafficClient{{
+				Name: "search", Service: WebSearch, Fraction: 1,
+				Spec: ArrivalSpec{Shape: Diurnal{
+					HourLoad: WebSearchDay(), PeakRPS: nCores * 700,
+				}, Poisson: true},
+			}},
+		},
+		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
+		WindowRequests: 120, Seed: 1,
+	}
+	b.ResetTimer()
+	var requests float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := Fleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		requests += float64(res.Cores) * float64(res.Windows) * float64(cfg.WindowRequests)
+	}
+	b.ReportMetric(requests/b.Elapsed().Seconds(), "req/s")
+}

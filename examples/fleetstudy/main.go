@@ -1,0 +1,119 @@
+// Fleet study: scale the §VI-D cluster argument from one core to a
+// datacenter. A mixed-service fleet — strict-SLO web search on half the
+// cores, relaxed video streaming and a bursty key-value store on the rest —
+// runs a full synthetic day through per-core Stretch controllers, then the
+// same day again with a burst storm injected into the key-value client, to
+// show the controllers shedding B-mode only where and when the storm lands.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stretch"
+)
+
+func main() {
+	const (
+		servers = 8
+		cores   = 16
+		wph     = 4 // monitoring windows per hour
+		windows = 24 * wph
+	)
+	nCores := float64(servers * cores)
+
+	// Measure the B-mode deltas this fleet would deploy with (56-136 skew,
+	// web search + zeusmp as the representative pairing).
+	eq, err := measure(stretch.WebSearch, "zeusmp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bm, err := measure(stretch.WebSearch, "zeusmp", stretch.WithBMode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bGain := stretch.Speedup(bm.BatchIPC, eq.BatchIPC)
+	lsCost := -stretch.Speedup(bm.LSIPC, eq.LSIPC)
+	fmt.Printf("deploying B-mode with measured batch speedup %+.0f%%, LS cost %.0f%%\n\n",
+		100*bGain, 100*lsCost)
+
+	// Per-core peak rates anchor the traffic in fractions of peak.
+	peak := map[string]float64{}
+	for _, svc := range []string{stretch.WebSearch, stretch.MediaStreaming, stretch.DataServing} {
+		p, err := stretch.PeakRPSPerCore(svc, 4000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak[svc] = p
+	}
+
+	calmKV := stretch.ArrivalSpec{Shape: stretch.Ramp{
+		StartRPS:  0.3 * peak[stretch.DataServing] * nCores * 0.2,
+		TargetRPS: 0.6 * peak[stretch.DataServing] * nCores * 0.2,
+	}, Poisson: true}
+	stormKV := stretch.ArrivalSpec{Shape: stretch.Burst{
+		Base:      calmKV.Shape,
+		Start:     windows / 4,
+		Length:    2 * wph,
+		Every:     windows / 3,
+		Magnitude: 2.5,
+	}, Poisson: true}
+
+	traffic := func(kv stretch.ArrivalSpec) stretch.Traffic {
+		return stretch.Traffic{
+			Windows: windows, WindowSec: 3600.0 / wph,
+			Clients: []stretch.TrafficClient{
+				{
+					Name: "search", Service: stretch.WebSearch, Fraction: 0.5,
+					SLO: stretch.SLOStrict,
+					Spec: stretch.ArrivalSpec{Shape: stretch.Diurnal{
+						HourLoad: stretch.WebSearchDay(),
+						PeakRPS:  peak[stretch.WebSearch] * nCores * 0.5,
+						Smooth:   true,
+					}, Poisson: true},
+				},
+				{
+					Name: "video", Service: stretch.MediaStreaming, Fraction: 0.3,
+					SLO: stretch.SLORelaxed,
+					Spec: stretch.ArrivalSpec{Shape: stretch.Diurnal{
+						HourLoad: stretch.VideoDay(),
+						PeakRPS:  peak[stretch.MediaStreaming] * nCores * 0.3,
+						Smooth:   true,
+					}, Poisson: true},
+				},
+				{Name: "kvstore", Service: stretch.DataServing, Fraction: 0.2, Spec: kv},
+			},
+		}
+	}
+
+	for _, sc := range []struct {
+		name string
+		kv   stretch.ArrivalSpec
+	}{{"calm day", calmKV}, {"burst storm on kvstore", stormKV}} {
+		res, err := stretch.Fleet(stretch.FleetConfig{
+			Servers: servers, CoresPerServer: cores,
+			Traffic:       traffic(sc.kv),
+			BatchSpeedupB: bGain, LSSlowdownB: lsCost,
+			WindowRequests: 300, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: %d cores × 24h ==\n", sc.name, res.Cores)
+		for _, cm := range res.Clients {
+			fmt.Printf("  %-8s %-16s %-8s cores=%-3d p99=%6.1fms p99.9=%6.1fms viol=%d/%d B-hours=%.0f\n",
+				cm.Client, cm.Service, cm.SLO, cm.Cores, cm.P99Ms, cm.P999Ms,
+				cm.ViolationWindows, cm.CoreWindows, cm.EngagedCoreHours)
+		}
+		fmt.Printf("  engaged %.0f/%.0f core-hours, batch gain vs equal partitioning %+.1f%% (%.0f core-hours)\n\n",
+			res.EngagedCoreHours, res.TotalCoreHours, 100*res.BatchGain, res.BatchCoreHoursGained)
+	}
+}
+
+func measure(ls, b string, opts ...stretch.Option) (stretch.Result, error) {
+	col, err := stretch.NewColocation(ls, b, opts...)
+	if err != nil {
+		return stretch.Result{}, err
+	}
+	return col.Measure()
+}

@@ -1,0 +1,3 @@
+module stretch
+
+go 1.24

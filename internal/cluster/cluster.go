@@ -2,12 +2,19 @@
 // Web Search cluster and a YouTube-like video cluster with diurnal load,
 // where Stretch B-mode is engaged during the hours the service runs below
 // the engage threshold, and batch throughput is integrated over 24 hours.
+//
+// It is the 1-core, hour-grain special case of the fleet engine: the
+// diurnal day profiles live in internal/loadgen and the windowed mode
+// integration in internal/fleet; this package keeps the paper-facing Study
+// vocabulary on top.
 package cluster
 
 import (
 	"fmt"
 
 	"stretch/internal/core"
+	"stretch/internal/fleet"
+	"stretch/internal/loadgen"
 	"stretch/internal/monitor"
 )
 
@@ -22,30 +29,14 @@ type DiurnalTrace struct {
 // al.): a daytime plateau near peak with a deep overnight trough; the
 // service sits below 85% of max for roughly 11 hours a day.
 func WebSearchTrace() DiurnalTrace {
-	return DiurnalTrace{
-		Name: "web-search-cluster",
-		HourLoad: [24]float64{
-			0.55, 0.48, 0.42, 0.38, 0.36, 0.40, // 00-05
-			0.50, 0.65, 0.86, 0.92, 0.96, 1.00, // 06-11
-			1.00, 0.98, 0.97, 0.95, 0.93, 0.90, // 12-17
-			0.89, 0.87, 0.86, 0.80, 0.72, 0.62, // 18-23
-		},
-	}
+	return DiurnalTrace{Name: "web-search-cluster", HourLoad: loadgen.WebSearchDay()}
 }
 
 // YouTubeTrace is the edge-traffic pattern of Fig. 14(b) (after Gill et
 // al.): requests concentrate between 10:00 and 19:00, peaking at 14:00;
 // the other ~17 hours stay below 85% of peak.
 func YouTubeTrace() DiurnalTrace {
-	return DiurnalTrace{
-		Name: "youtube-cluster",
-		HourLoad: [24]float64{
-			0.35, 0.30, 0.26, 0.24, 0.22, 0.24, // 00-05
-			0.30, 0.40, 0.55, 0.70, 0.84, 0.95, // 06-11
-			0.98, 0.99, 1.00, 0.97, 0.94, 0.90, // 12-17
-			0.84, 0.80, 0.70, 0.60, 0.50, 0.42, // 18-23
-		},
-	}
+	return DiurnalTrace{Name: "youtube-cluster", HourLoad: loadgen.VideoDay()}
 }
 
 // Study parameterises one case study.
@@ -84,23 +75,15 @@ type Result struct {
 // the coarse exploitation the paper evaluates ("both cases are doing a very
 // coarse exploitation of the capabilities of Stretch").
 func (s Study) Run() (Result, error) {
-	if s.EngageBelow <= 0 || s.EngageBelow > 1 {
-		return Result{}, fmt.Errorf("cluster: engage threshold %v out of (0,1]", s.EngageBelow)
+	modes, rel, engaged, err := fleet.ThresholdTimeline(s.Trace.HourLoad[:], s.EngageBelow, s.BatchSpeedupB)
+	if err != nil {
+		return Result{}, err
 	}
-	if s.BatchSpeedupB < 0 {
-		return Result{}, fmt.Errorf("cluster: negative batch speedup")
-	}
-	var res Result
+	res := Result{EngagedHours: engaged}
 	var sum float64
 	for h, load := range s.Trace.HourLoad {
-		hr := HourResult{Hour: h, Load: load, Mode: core.ModeBaseline, BatchRel: 1}
-		if load < s.EngageBelow {
-			hr.Mode = core.ModeB
-			hr.BatchRel = 1 + s.BatchSpeedupB
-			res.EngagedHours++
-		}
-		sum += hr.BatchRel
-		res.Hours = append(res.Hours, hr)
+		res.Hours = append(res.Hours, HourResult{Hour: h, Load: load, Mode: modes[h], BatchRel: rel[h]})
+		sum += rel[h]
 	}
 	res.ClusterGain = sum/24 - 1
 	return res, nil
@@ -118,21 +101,15 @@ func (s Study) RunWithController(ctl *monitor.Controller, windowsPerHour int,
 	if windowsPerHour <= 0 {
 		return Result{}, fmt.Errorf("cluster: need at least one window per hour")
 	}
+	modes, frac, err := fleet.ControlledTimeline(s.Trace.HourLoad[:], ctl, windowsPerHour, tailAt)
+	if err != nil {
+		return Result{}, err
+	}
 	var res Result
 	var sum float64
 	for h, load := range s.Trace.HourLoad {
-		engagedWindows := 0
-		for w := 0; w < windowsPerHour; w++ {
-			tail := tailAt(load, ctl.Mode())
-			ctl.Observe(monitor.Observation{TailMs: tail})
-			if ctl.Mode() == core.ModeB {
-				engagedWindows++
-			}
-		}
-		hr := HourResult{Hour: h, Load: load, Mode: ctl.Mode()}
-		frac := float64(engagedWindows) / float64(windowsPerHour)
-		hr.BatchRel = 1 + s.BatchSpeedupB*frac
-		if frac > 0.5 {
+		hr := HourResult{Hour: h, Load: load, Mode: modes[h], BatchRel: 1 + s.BatchSpeedupB*frac[h]}
+		if frac[h] > 0.5 {
 			res.EngagedHours++
 		}
 		sum += hr.BatchRel

@@ -109,3 +109,82 @@ func TestRunWithControllerTracksLoad(t *testing.T) {
 		t.Fatal("zero windows accepted")
 	}
 }
+
+func TestRunWithControllerSingleWindowPerHour(t *testing.T) {
+	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
+	ctl, err := monitor.New(monitor.DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunWithController(ctl, 1, func(load float64, mode core.Mode) float64 {
+		if load < 0.8 {
+			return 40
+		}
+		return 99
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hours) != 24 {
+		t.Fatalf("%d hour records", len(res.Hours))
+	}
+	// At one window per hour, each hour's engaged fraction is 0 or 1, so
+	// BatchRel must be exactly 1 or 1+speedup.
+	for _, h := range res.Hours {
+		if h.BatchRel != 1 && h.BatchRel != 1.13 {
+			t.Fatalf("hour %d: fractional BatchRel %v at hour grain", h.Hour, h.BatchRel)
+		}
+	}
+	if res.EngagedHours == 0 || res.ClusterGain <= 0 {
+		t.Fatalf("hour-grain controller never engaged (hours=%d gain=%v)",
+			res.EngagedHours, res.ClusterGain)
+	}
+}
+
+func TestRunWithControllerNeverEngages(t *testing.T) {
+	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
+	ctl, err := monitor.New(monitor.DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail pinned above the disengage band: no slack anywhere in the day.
+	res, err := s.RunWithController(ctl, 12, func(load float64, mode core.Mode) float64 {
+		return 99
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngagedHours != 0 {
+		t.Fatalf("engaged %d hours with zero slack", res.EngagedHours)
+	}
+	if res.ClusterGain != 0 {
+		t.Fatalf("gain %v without engagement", res.ClusterGain)
+	}
+	for _, h := range res.Hours {
+		if h.Mode == core.ModeB || h.BatchRel != 1 {
+			t.Fatalf("hour %d in B-mode under sustained pressure", h.Hour)
+		}
+	}
+}
+
+func TestRunWithControllerHysteresisLimitsSwitches(t *testing.T) {
+	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
+	ctl, err := monitor.New(monitor.DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fine granularity (60 windows/hour = 1440 observations): hysteresis
+	// must keep the switch count at the diurnal scale, not the window
+	// scale — one engage and one disengage per load transition.
+	if _, err := s.RunWithController(ctl, 60, func(load float64, mode core.Mode) float64 {
+		if load < 0.85 {
+			return 50
+		}
+		return 99
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sw := ctl.Switches(); sw == 0 || sw > 8 {
+		t.Fatalf("switch count %d at 1440 windows/day — hysteresis broken", sw)
+	}
+}

@@ -89,13 +89,22 @@ func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
 func f3(f float64) string { return fmt.Sprintf("%.3f", f) }
 
 // Context memoises expensive shared results (solo baselines, grids) across
-// the experiments of one run.
+// the experiments of one run. Concurrent experiments share a single build
+// per grid key: the first caller builds, the rest wait.
 type Context struct {
 	Scale Scale
 
 	mu    sync.Mutex
 	solo  map[string]float64
-	grids map[string]map[string]map[string]colocate.Pair
+	grids map[string]*gridEntry
+}
+
+// gridEntry holds one memoised grid; once guarantees a single build even
+// under concurrent callers.
+type gridEntry struct {
+	once sync.Once
+	g    map[string]map[string]colocate.Pair
+	err  error
 }
 
 // NewContext builds a context at the given scale.
@@ -103,7 +112,7 @@ func NewContext(sc Scale) *Context {
 	return &Context{
 		Scale: sc,
 		solo:  make(map[string]float64),
-		grids: make(map[string]map[string]map[string]colocate.Pair),
+		grids: make(map[string]*gridEntry),
 	}
 }
 
@@ -167,22 +176,17 @@ func (c *Context) SoloIPC(names ...string) (map[string]float64, error) {
 }
 
 // Grid returns the memoised colocation grid for a configuration key. The
-// builder runs at most once per key.
+// builder runs at most once per key, even under concurrent callers.
 func (c *Context) Grid(key string, build func() (map[string]map[string]colocate.Pair, error)) (map[string]map[string]colocate.Pair, error) {
 	c.mu.Lock()
-	if g, ok := c.grids[key]; ok {
-		c.mu.Unlock()
-		return g, nil
+	e, ok := c.grids[key]
+	if !ok {
+		e = &gridEntry{}
+		c.grids[key] = e
 	}
 	c.mu.Unlock()
-	g, err := build()
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.grids[key] = g
-	c.mu.Unlock()
-	return g, nil
+	e.once.Do(func() { e.g, e.err = build() })
+	return e.g, e.err
 }
 
 // Named couples an experiment id with its runner, for the CLI and benches.

@@ -1,18 +1,29 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
 
 	"stretch/internal/workload"
 )
 
-// The experiment tests run at Quick scale and assert the paper's
-// qualitative shapes, not absolute numbers. One shared context memoises
-// the grids across tests.
-var testCtx = NewContext(Quick)
+// The experiment tests run at Quick scale by default and assert the
+// paper's qualitative shapes, not absolute numbers; set
+// STRETCH_EXPERIMENTS_SCALE=full to run the full budgets. One shared
+// context memoises the grids across the parallel tests (Context.Grid
+// builds each grid exactly once).
+var testCtx = NewContext(testScale())
+
+func testScale() Scale {
+	if os.Getenv("STRETCH_EXPERIMENTS_SCALE") == "full" {
+		return Full
+	}
+	return Quick
+}
 
 func TestStaticTables(t *testing.T) {
+	t.Parallel()
 	t1 := Table1()
 	if len(t1.Rows) != 4 {
 		t.Fatalf("table1 rows = %d", len(t1.Rows))
@@ -36,6 +47,7 @@ func TestStaticTables(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig1(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +65,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig2(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +86,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig3(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +104,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4ROBDominates(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig4(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +126,7 @@ func TestFig4ROBDominates(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig6(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -139,6 +155,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7MLPContrast(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig7(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +172,7 @@ func TestFig7MLPContrast(t *testing.T) {
 }
 
 func TestFig9BModeTradeoff(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig9(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -184,6 +202,7 @@ func TestFig9BModeTradeoff(t *testing.T) {
 }
 
 func TestFig11DynamicSharing(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig11(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +224,7 @@ func TestFig11DynamicSharing(t *testing.T) {
 }
 
 func TestFig12StretchDominatesThrottling(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig12(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -226,6 +246,7 @@ func TestFig12StretchDominatesThrottling(t *testing.T) {
 }
 
 func TestFig13Additive(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig13(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -242,6 +263,7 @@ func TestFig13Additive(t *testing.T) {
 }
 
 func TestFig14CaseStudies(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig14(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -266,6 +288,7 @@ func TestFig14CaseStudies(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	t.Parallel()
 	lsq, err := AblationLSQCoupling(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -316,6 +339,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestByIDAndAll(t *testing.T) {
+	t.Parallel()
 	if len(All()) < 19 {
 		t.Fatalf("only %d experiments registered", len(All()))
 	}
@@ -338,6 +362,7 @@ func TestByIDAndAll(t *testing.T) {
 }
 
 func TestFig10SpreadAndSorting(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig10(testCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -358,6 +383,7 @@ func TestFig10SpreadAndSorting(t *testing.T) {
 }
 
 func TestExperimentDeterminism(t *testing.T) {
+	t.Parallel()
 	a, err := Fig7(NewContext(Quick))
 	if err != nil {
 		t.Fatal(err)

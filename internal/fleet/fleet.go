@@ -1,0 +1,391 @@
+// Package fleet simulates a datacenter-scale Stretch deployment: N servers
+// × SMT cores, each core running a queueing-backed latency-sensitive
+// service colocated with a batch thread and governed by its own §IV-C
+// monitor.Controller. An open-loop multi-client traffic spec
+// (internal/loadgen) drives the per-window arrival rates; execution is
+// sharded across a goroutine worker pool, with every core drawing from its
+// own rng stream derived from the experiment seed, so aggregate results are
+// bit-identical for identical seeds regardless of worker count.
+//
+// Per window, each core simulates its share of its client's arrival rate
+// through the request-level queueing model at the perf factor its current
+// mode implies, feeds the measured tail to its controller, and credits the
+// colocated batch thread relative to equal partitioning (B-mode gains,
+// Q-mode pays). Results aggregate into fleet-wide tails (p99/p99.9 over
+// core-window tails), QoS-violation window counts, engaged-core-hours, and
+// batch core-hours gained versus an equal-partitioning deployment.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"stretch/internal/core"
+	"stretch/internal/loadgen"
+	"stretch/internal/monitor"
+	"stretch/internal/queueing"
+	"stretch/internal/rng"
+	"stretch/internal/stats"
+	"stretch/internal/workload"
+)
+
+// Config parameterises a fleet run.
+type Config struct {
+	// Servers and CoresPerServer size the fleet (Servers × CoresPerServer
+	// SMT cores total).
+	Servers, CoresPerServer int
+
+	// Traffic is the multi-client arrival spec; each client's fleet-wide
+	// timeline is split evenly across the cores its Fraction buys.
+	Traffic loadgen.Traffic
+
+	// BatchSpeedupB and LSSlowdownB are the measured B-mode deltas versus
+	// equal partitioning (e.g. from the 56-136 skew grid).
+	BatchSpeedupB, LSSlowdownB float64
+	// QModeBatchCost is the batch throughput lost while Q-mode is engaged
+	// (default 0.15 when zero).
+	QModeBatchCost float64
+
+	// WindowRequests is the per-core request budget sampling each window's
+	// steady state (default 800 when zero).
+	WindowRequests int
+
+	// Workers caps the goroutine pool (default GOMAXPROCS when zero).
+	// Results are independent of the worker count.
+	Workers int
+
+	// Seed is the experiment seed; identical seeds reproduce identical
+	// aggregate metrics.
+	Seed uint64
+
+	// Monitor builds each core's controller tuning from its client's
+	// (SLO-scaled) tail target; nil uses monitor.DefaultConfig.
+	Monitor func(targetMs float64) monitor.Config
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Servers <= 0 || c.CoresPerServer <= 0 {
+		return fmt.Errorf("fleet: need a positive fleet size (%d servers × %d cores)", c.Servers, c.CoresPerServer)
+	}
+	if err := c.Traffic.Validate(); err != nil {
+		return err
+	}
+	if len(c.Traffic.Clients) > c.Servers*c.CoresPerServer {
+		return fmt.Errorf("fleet: %d clients need at least as many cores (have %d)",
+			len(c.Traffic.Clients), c.Servers*c.CoresPerServer)
+	}
+	if c.BatchSpeedupB < 0 {
+		return fmt.Errorf("fleet: negative B-mode batch speedup")
+	}
+	if c.LSSlowdownB < 0 || c.LSSlowdownB >= 1 {
+		return fmt.Errorf("fleet: B-mode LS slowdown %v out of [0,1)", c.LSSlowdownB)
+	}
+	if c.QModeBatchCost < 0 || c.QModeBatchCost >= 1 {
+		return fmt.Errorf("fleet: Q-mode batch cost %v out of [0,1)", c.QModeBatchCost)
+	}
+	if c.WindowRequests < 0 {
+		return fmt.Errorf("fleet: negative window request budget")
+	}
+	for _, cl := range c.Traffic.Clients {
+		if _, ok := workload.Services()[cl.Service]; !ok {
+			return fmt.Errorf("fleet: client %q: unknown service %q", cl.Name, cl.Service)
+		}
+	}
+	return nil
+}
+
+// ClientMetrics aggregates one traffic client's cores.
+type ClientMetrics struct {
+	Client  string
+	Service string
+	SLO     loadgen.SLOClass
+	// Cores is how many SMT cores the client's Fraction bought.
+	Cores int
+	// TargetMs is the SLO-scaled tail target its controllers enforce.
+	TargetMs float64
+	// P99Ms and P999Ms are quantiles over all core-window tail readings.
+	P99Ms, P999Ms float64
+	// ViolationWindows counts core-windows whose tail exceeded the target.
+	ViolationWindows int
+	// CoreWindows is the total core-windows simulated for this client.
+	CoreWindows int
+	// EngagedCoreHours is the B-mode time integrated over the client's
+	// cores.
+	EngagedCoreHours float64
+}
+
+// Result is the fleet-wide aggregation.
+type Result struct {
+	// Cores and Windows echo the simulated extent.
+	Cores, Windows int
+	WindowSec      float64
+
+	// Clients holds per-client aggregates in traffic order.
+	Clients []ClientMetrics
+
+	// TotalCoreHours is Cores × horizon.
+	TotalCoreHours float64
+	// EngagedCoreHours is the fleet-wide B-mode time.
+	EngagedCoreHours float64
+	// BatchCoreHoursGained integrates (batchRel − 1) over every
+	// core-window: the extra batch work versus an equal-partitioning
+	// deployment of the same fleet, in core-hours.
+	BatchCoreHoursGained float64
+	// BatchGain is BatchCoreHoursGained normalised by TotalCoreHours: the
+	// fleet-wide batch throughput improvement over equal partitioning.
+	BatchGain float64
+	// ViolationWindows counts QoS-violating core-windows fleet-wide.
+	ViolationWindows int
+	// Switches sums all controllers' mode changes.
+	Switches uint64
+}
+
+// coreJob is the per-core work description handed to the pool.
+type coreJob struct {
+	client int
+	rates  []float64 // per-window per-core arrival rate
+	target float64   // SLO-scaled tail target, ms
+	qcfg   queueing.Config
+}
+
+// coreResult is one core's contribution, aggregated deterministically in
+// core order after the pool drains.
+type coreResult struct {
+	tails          []float64
+	violations     int
+	engagedWindows int
+	batchRelSum    float64
+	switches       uint64
+	err            error
+}
+
+// Run simulates the fleet over the traffic horizon.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	nCores := cfg.Servers * cfg.CoresPerServer
+	windows := cfg.Traffic.Windows
+	windowReq := cfg.WindowRequests
+	if windowReq == 0 {
+		windowReq = 800
+	}
+	qCost := cfg.QModeBatchCost
+	if qCost == 0 {
+		qCost = 0.15
+	}
+	monCfg := cfg.Monitor
+	if monCfg == nil {
+		monCfg = monitor.DefaultConfig
+	}
+
+	timelines, err := cfg.Traffic.Timelines(cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	coresOf := assignCores(cfg.Traffic.Clients, nCores)
+
+	// Flatten the per-core work list in client order.
+	jobs := make([]coreJob, 0, nCores)
+	targets := make([]float64, len(cfg.Traffic.Clients))
+	for ci, cl := range cfg.Traffic.Clients {
+		svc := workload.Services()[cl.Service]
+		targets[ci] = svc.QoSTargetMs * cl.SLO.Scale()
+		qcfg := queueing.Config{
+			Workers: svc.Workers, MeanServiceMs: svc.MeanServiceMs,
+			ServiceCV: svc.ServiceCV, BurstProb: svc.BurstProb, BurstLen: svc.BurstLen,
+			QoSQuantile: svc.QoSQuantile, QoSTargetMs: targets[ci],
+		}
+		perCore := make([]float64, windows)
+		for w, r := range timelines[cl.Name] {
+			perCore[w] = r / float64(coresOf[ci])
+		}
+		for j := 0; j < coresOf[ci]; j++ {
+			jobs = append(jobs, coreJob{client: ci, rates: perCore, target: targets[ci], qcfg: qcfg})
+		}
+	}
+
+	// Shard the cores over a worker pool. Each core derives its own rng
+	// stream from the experiment seed and its global index, so the
+	// schedule — and therefore the worker count — cannot perturb results.
+	root := rng.New(cfg.Seed).Derive(0xF1EE7)
+	results := make([]coreResult, len(jobs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan int, len(jobs))
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runCore(jobs[i].qcfg, jobs[i].rates, jobs[i].target,
+					monCfg, windowReq, cfg.BatchSpeedupB, cfg.LSSlowdownB, qCost,
+					root.Derive(uint64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic aggregation in core order.
+	res := Result{
+		Cores: nCores, Windows: windows, WindowSec: cfg.Traffic.WindowSec,
+		TotalCoreHours: float64(nCores) * cfg.Traffic.Hours(),
+	}
+	windowHours := cfg.Traffic.WindowSec / 3600
+	perClient := make([]*stats.Sample, len(cfg.Traffic.Clients))
+	cms := make([]ClientMetrics, len(cfg.Traffic.Clients))
+	for ci, cl := range cfg.Traffic.Clients {
+		perClient[ci] = stats.NewSample(coresOf[ci] * windows)
+		cms[ci] = ClientMetrics{
+			Client: cl.Name, Service: cl.Service, SLO: cl.SLO,
+			Cores: coresOf[ci], TargetMs: targets[ci],
+		}
+	}
+	for i, r := range results {
+		if r.err != nil {
+			return Result{}, r.err
+		}
+		ci := jobs[i].client
+		for _, tl := range r.tails {
+			perClient[ci].Add(tl)
+		}
+		cms[ci].ViolationWindows += r.violations
+		cms[ci].CoreWindows += windows
+		cms[ci].EngagedCoreHours += float64(r.engagedWindows) * windowHours
+		res.BatchCoreHoursGained += (r.batchRelSum - float64(windows)) * windowHours
+		res.Switches += r.switches
+	}
+	for ci := range cms {
+		cms[ci].P99Ms = perClient[ci].Quantile(0.99)
+		cms[ci].P999Ms = perClient[ci].Quantile(0.999)
+		res.ViolationWindows += cms[ci].ViolationWindows
+		res.EngagedCoreHours += cms[ci].EngagedCoreHours
+	}
+	res.Clients = cms
+	res.BatchGain = res.BatchCoreHoursGained / res.TotalCoreHours
+	return res, nil
+}
+
+// runCore walks one SMT core through every window: simulate the window's
+// arrivals at the engaged mode's perf factor, feed the tail to the
+// controller, credit the batch thread.
+func runCore(qcfg queueing.Config, rates []float64, targetMs float64,
+	monCfg func(float64) monitor.Config, windowReq int,
+	bGain, lsSlow, qCost float64, stream *rng.Stream) coreResult {
+
+	ctl, err := monitor.New(monCfg(targetMs))
+	if err != nil {
+		return coreResult{err: err}
+	}
+	r := coreResult{tails: make([]float64, 0, len(rates))}
+	for w, rate := range rates {
+		mode := ctl.Mode()
+		var tail float64
+		if rate > 0 {
+			perf := 1.0
+			if mode == core.ModeB {
+				perf = 1 - lsSlow
+			}
+			seed := stream.Derive(uint64(w)).Uint64()
+			qr, err := queueing.Simulate(qcfg, rate, windowReq, perf, seed)
+			if err != nil {
+				return coreResult{err: err}
+			}
+			tail = qr.QoSMs
+		}
+		// An idle window (a Poisson draw of zero arrivals) reads as zero
+		// tail: maximal slack.
+		r.tails = append(r.tails, tail)
+		if tail > targetMs {
+			r.violations++
+		}
+		switch mode {
+		case core.ModeB:
+			r.engagedWindows++
+			r.batchRelSum += 1 + bGain
+		case core.ModeQ:
+			r.batchRelSum += 1 - qCost
+		default:
+			r.batchRelSum += 1
+		}
+		ctl.Observe(monitor.Observation{TailMs: tail})
+	}
+	r.switches = ctl.Switches()
+	return r
+}
+
+// assignCores splits nCores across the clients proportionally to their
+// fractions: floor allocation (minimum one core each), then — when the
+// fractions subscribe the whole fleet — largest-remainder distribution of
+// the leftover. Under-subscribed traffic leaves the remaining cores idle;
+// over-allocation from the one-core minimum is reclaimed from the largest
+// allocations.
+func assignCores(clients []loadgen.Client, nCores int) []int {
+	out := make([]int, len(clients))
+	sum := 0.0
+	for _, c := range clients {
+		sum += c.Fraction
+	}
+	used := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(clients))
+	for i, c := range clients {
+		exact := c.Fraction * float64(nCores)
+		out[i] = int(exact)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		used += out[i]
+		rems = append(rems, rem{i, exact - float64(int(exact))})
+	}
+	for used > nCores {
+		big := 0
+		for i := range out {
+			if out[i] > out[big] {
+				big = i
+			}
+		}
+		out[big]--
+		used--
+	}
+	if sum > 1-1e-9 {
+		sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+		for k := 0; used < nCores; k = (k + 1) % len(rems) {
+			out[rems[k].idx]++
+			used++
+		}
+	}
+	return out
+}
+
+// PeakRPSPerCore returns the peak sustainable per-core arrival rate for the
+// named service — the rate anchor for building traffic specs in fractions
+// of peak (load 1.0 ≈ the paper's "peak sustainable load").
+func PeakRPSPerCore(service string, nRequests int, seed uint64) (float64, error) {
+	svc, ok := workload.Services()[service]
+	if !ok {
+		return 0, fmt.Errorf("fleet: unknown service %q", service)
+	}
+	cfg := queueing.Config{
+		Workers: svc.Workers, MeanServiceMs: svc.MeanServiceMs,
+		ServiceCV: svc.ServiceCV, BurstProb: svc.BurstProb, BurstLen: svc.BurstLen,
+		QoSQuantile: svc.QoSQuantile, QoSTargetMs: svc.QoSTargetMs,
+	}
+	return queueing.PeakLoad(cfg, nRequests, seed)
+}

@@ -1,0 +1,67 @@
+// Single-core mode-timeline engines: the windowed integration primitives
+// the fleet engine is built from. internal/cluster's §VI-D case studies are
+// the 1-core, hour-grain special case of these.
+package fleet
+
+import (
+	"fmt"
+
+	"stretch/internal/core"
+	"stretch/internal/monitor"
+)
+
+// ThresholdTimeline applies the coarse hour-grain rule the paper's cluster
+// studies evaluate: engage B-mode whenever the window's load sits below
+// engageBelow, crediting the batch thread 1+batchSpeedupB relative to equal
+// partitioning. It returns the per-window modes, per-window batch-relative
+// throughput, and the engaged-window count.
+func ThresholdTimeline(loads []float64, engageBelow, batchSpeedupB float64) ([]core.Mode, []float64, int, error) {
+	if engageBelow <= 0 || engageBelow > 1 {
+		return nil, nil, 0, fmt.Errorf("fleet: engage threshold %v out of (0,1]", engageBelow)
+	}
+	if batchSpeedupB < 0 {
+		return nil, nil, 0, fmt.Errorf("fleet: negative batch speedup")
+	}
+	modes := make([]core.Mode, len(loads))
+	rel := make([]float64, len(loads))
+	engaged := 0
+	for w, load := range loads {
+		modes[w] = core.ModeBaseline
+		rel[w] = 1
+		if load < engageBelow {
+			modes[w] = core.ModeB
+			rel[w] = 1 + batchSpeedupB
+			engaged++
+		}
+	}
+	return modes, rel, engaged, nil
+}
+
+// ControlledTimeline replays a load timeline through a closed-loop
+// monitor.Controller at subWindows monitoring windows per load window,
+// feeding it the tail latency tailAt predicts for the window's load and the
+// currently engaged mode. It returns each load window's final mode and the
+// fraction of its monitoring windows spent in B-mode.
+func ControlledTimeline(loads []float64, ctl *monitor.Controller, subWindows int,
+	tailAt func(load float64, mode core.Mode) float64) ([]core.Mode, []float64, error) {
+	if subWindows <= 0 {
+		return nil, nil, fmt.Errorf("fleet: need at least one monitoring window per load window")
+	}
+	if ctl == nil || tailAt == nil {
+		return nil, nil, fmt.Errorf("fleet: controlled timeline needs a controller and a tail model")
+	}
+	modes := make([]core.Mode, len(loads))
+	frac := make([]float64, len(loads))
+	for w, load := range loads {
+		engaged := 0
+		for i := 0; i < subWindows; i++ {
+			ctl.Observe(monitor.Observation{TailMs: tailAt(load, ctl.Mode())})
+			if ctl.Mode() == core.ModeB {
+				engaged++
+			}
+		}
+		modes[w] = ctl.Mode()
+		frac[w] = float64(engaged) / float64(subWindows)
+	}
+	return modes, frac, nil
+}

@@ -99,6 +99,33 @@ func (s *Stream) LogNormal(mean, cv float64) float64 {
 	return math.Exp(mu + math.Sqrt(sigma2)*s.Normal())
 }
 
+// Poisson returns a Poisson-distributed count with the given mean. Small
+// means use Knuth's product method; large means fall back to a (rounded,
+// clamped) normal approximation, which is accurate to well under a percent
+// for the window populations the load generator draws.
+func (s *Stream) Poisson(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		limit := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p < limit {
+				return float64(k)
+			}
+			k++
+		}
+	}
+	n := math.Round(mean + math.Sqrt(mean)*s.Normal())
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // Normal returns a standard normal variate (Box-Muller).
 func (s *Stream) Normal() float64 {
 	u1 := s.Float64()

@@ -198,3 +198,37 @@ func TestBernoulliExtremes(t *testing.T) {
 		}
 	}
 }
+
+func TestPoissonMeanSmallAndLarge(t *testing.T) {
+	s := New(11)
+	for _, mean := range []float64{0.5, 5, 300} {
+		sum := 0.0
+		n := 20000
+		for i := 0; i < n; i++ {
+			v := s.Poisson(mean)
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("Poisson(%v) produced non-count %v", mean, v)
+			}
+			sum += v
+		}
+		got := sum / float64(n)
+		if got < mean*0.95 || got > mean*1.05 {
+			t.Errorf("Poisson(%v) sample mean %v off by >5%%", mean, got)
+		}
+	}
+	if v := s.Poisson(0); v != 0 {
+		t.Errorf("Poisson(0) = %v", v)
+	}
+	if v := s.Poisson(-3); v != 0 {
+		t.Errorf("Poisson(-3) = %v", v)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 200; i++ {
+		if av, bv := a.Poisson(40), b.Poisson(40); av != bv {
+			t.Fatalf("Poisson diverged at draw %d: %v vs %v", i, av, bv)
+		}
+	}
+}

@@ -17,7 +17,12 @@
 //     (Services, BatchWorkloads);
 //   - the software control plane and the full experiment suite
 //     regenerating every table and figure in the paper (Controller,
-//     RunExperiment, Experiments).
+//     RunExperiment, Experiments);
+//   - the fleet layer: a synthetic traffic generator (Traffic,
+//     Constant/Ramp/Diurnal/Burst arrival shapes) feeding a sharded
+//     datacenter-scale simulation of thousands of controller-governed SMT
+//     cores (Fleet, FleetConfig) — the §VI-D cluster studies scaled from
+//     one core to a fleet.
 //
 // Quick start:
 //
@@ -34,6 +39,8 @@ import (
 	"stretch/internal/colocate"
 	"stretch/internal/core"
 	"stretch/internal/experiments"
+	"stretch/internal/fleet"
+	"stretch/internal/loadgen"
 	"stretch/internal/monitor"
 	"stretch/internal/sampling"
 	"stretch/internal/trace"
@@ -239,4 +246,69 @@ func RunExperiment(id string, scale ExperimentScale) (ExperimentTable, error) {
 		return ExperimentTable{}, err
 	}
 	return n.Run(experiments.NewContext(scale))
+}
+
+// --- Fleet layer: synthetic traffic + datacenter-scale simulation ---
+
+// Traffic is a multi-client open-loop traffic specification: per-client
+// arrival specs, core-share fractions and SLO classes over a windowed
+// horizon.
+type Traffic = loadgen.Traffic
+
+// TrafficClient is one traffic source in a multi-client spec.
+type TrafficClient = loadgen.Client
+
+// ArrivalSpec couples an arrival shape with the noise model.
+type ArrivalSpec = loadgen.Spec
+
+// ArrivalShape produces each window's deterministic mean arrival rate.
+type ArrivalShape = loadgen.Shape
+
+// Arrival shapes: flat rate, invitro-style RPS ramp, diurnal day profile,
+// and burst injection on top of any base shape.
+type (
+	Constant = loadgen.Constant
+	Ramp     = loadgen.Ramp
+	Diurnal  = loadgen.Diurnal
+	Burst    = loadgen.Burst
+)
+
+// SLOClass scales a service's published QoS target for a traffic client.
+type SLOClass = loadgen.SLOClass
+
+// SLO classes.
+const (
+	SLOStandard = loadgen.SLOStandard
+	SLOStrict   = loadgen.SLOStrict
+	SLORelaxed  = loadgen.SLORelaxed
+)
+
+// WebSearchDay is the §VI-D Web Search diurnal profile (fractions of
+// peak), reusable as Diurnal.HourLoad.
+func WebSearchDay() [24]float64 { return loadgen.WebSearchDay() }
+
+// VideoDay is the §VI-D YouTube-like diurnal profile (fractions of peak),
+// reusable as Diurnal.HourLoad.
+func VideoDay() [24]float64 { return loadgen.VideoDay() }
+
+// FleetConfig parameterises a datacenter-scale run: fleet size, traffic,
+// measured B-mode deltas, request budget, worker pool and seed.
+type FleetConfig = fleet.Config
+
+// FleetResult aggregates a fleet run: per-client tails and violations,
+// engaged-core-hours, and batch core-hours gained over equal partitioning.
+type FleetResult = fleet.Result
+
+// FleetClientMetrics is one traffic client's aggregate.
+type FleetClientMetrics = fleet.ClientMetrics
+
+// Fleet simulates a datacenter of controller-governed SMT cores under the
+// configured traffic, sharded across a goroutine worker pool. Identical
+// seeds reproduce identical aggregate metrics regardless of worker count.
+func Fleet(cfg FleetConfig) (FleetResult, error) { return fleet.Run(cfg) }
+
+// PeakRPSPerCore is the peak sustainable per-core arrival rate of a
+// service — the anchor for building traffic in fractions of peak.
+func PeakRPSPerCore(service string, nRequests int, seed uint64) (float64, error) {
+	return fleet.PeakRPSPerCore(service, nRequests, seed)
 }

@@ -144,3 +144,38 @@ func TestModeConstants(t *testing.T) {
 		t.Fatal("mode strings")
 	}
 }
+
+func TestFleetFacade(t *testing.T) {
+	res, err := Fleet(FleetConfig{
+		Servers: 1, CoresPerServer: 4,
+		Traffic: Traffic{
+			Windows: 8, WindowSec: 450,
+			Clients: []TrafficClient{{
+				Name: "search", Service: WebSearch, Fraction: 1,
+				Spec: ArrivalSpec{Shape: Diurnal{
+					HourLoad: WebSearchDay(), PeakRPS: 4 * 300,
+				}, Poisson: true},
+			}},
+		},
+		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
+		WindowRequests: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 4 || len(res.Clients) != 1 {
+		t.Fatalf("fleet shape: %+v", res)
+	}
+	if res.BatchGain <= 0 {
+		t.Fatalf("no batch gain at overnight load (%v)", res.BatchGain)
+	}
+	if _, err := Fleet(FleetConfig{}); err == nil {
+		t.Fatal("empty fleet config accepted")
+	}
+	if _, err := PeakRPSPerCore("nope", 100, 1); err == nil {
+		t.Fatal("unknown service accepted by PeakRPSPerCore")
+	}
+	if SLOStrict.Scale() >= SLOStandard.Scale() {
+		t.Fatal("SLO re-exports broken")
+	}
+}
