@@ -1,0 +1,233 @@
+// Fleet-study construction and rendering for stretchsim -fleet, separated
+// from main so the golden-artifact regression tests can build the exact
+// CLI configuration and lock the exact CLI output.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"stretch/internal/fleet"
+	"stretch/internal/loadgen"
+	"stretch/internal/workload"
+)
+
+// fleetParams mirrors the -fleet flag set.
+type fleetParams struct {
+	servers, cores int
+	trace          string
+	policy         string
+	events         string
+	hours          float64
+	wph, windowReq int
+	seed           uint64
+	workers        int
+	bSpeedup       float64
+	lsSlowdown     float64
+}
+
+// fleetTraces lists the named traffic specs.
+func fleetTraces() []string { return []string{"websearch", "video", "mixed", "failover"} }
+
+// buildFleetConfig materialises the named trace, policy and event list
+// into a fleet.Config. The failover trace ships a default scenario —
+// a quarter of the servers fail mid-day and return later, on a fleet
+// whose last quarter of servers is an older hardware generation — unless
+// -events overrides it.
+func buildFleetConfig(p fleetParams) (fleet.Config, error) {
+	nCores := p.servers * p.cores
+	windows := int(p.hours * float64(p.wph))
+	windowsPerDay := 24 * p.wph
+	windowSec := 3600.0 / float64(p.wph)
+	if windows <= 0 {
+		return fleet.Config{}, fmt.Errorf("non-positive fleet horizon")
+	}
+
+	policy, err := fleet.ParsePolicy(p.policy)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	scenario, err := loadgen.ParseEvents(p.events)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+
+	// Anchor each service's traffic at its peak sustainable per-core rate
+	// (memoised: the PeakLoad bisection is the expensive part of startup).
+	peaks := map[string]float64{}
+	peak := func(svc string) (float64, error) {
+		if pk, ok := peaks[svc]; ok {
+			return pk, nil
+		}
+		pk, err := fleet.PeakRPSPerCore(svc, 4000, p.seed)
+		if err == nil {
+			peaks[svc] = pk
+		}
+		return pk, err
+	}
+
+	diurnal := func(svc string, day [24]float64, coreShare float64) (loadgen.Spec, error) {
+		pk, err := peak(svc)
+		if err != nil {
+			return loadgen.Spec{}, err
+		}
+		return loadgen.Spec{Shape: loadgen.Diurnal{
+			HourLoad:      day,
+			PeakRPS:       pk * coreShare,
+			Smooth:        true,
+			WindowsPerDay: windowsPerDay,
+		}, Poisson: true}, nil
+	}
+
+	// The mixed client population: strict-SLO search, relaxed video, and
+	// a bursty ramping kvstore. Shared by the mixed and failover traces.
+	mixedClients := func() ([]loadgen.Client, error) {
+		// Burst shape for the kvstore client: half-hour spikes every third
+		// of the horizon. Clamp so coarse grains keep a real burst and tiny
+		// horizons degrade to a single burst instead of a permanent one.
+		burstLen := p.wph / 2
+		if burstLen < 1 {
+			burstLen = 1
+		}
+		burstEvery := windows / 3
+		if burstEvery <= burstLen {
+			burstEvery = 0
+		}
+		ws, err := diurnal(workload.WebSearch, loadgen.WebSearchDay(), float64(nCores)/2)
+		if err != nil {
+			return nil, err
+		}
+		vid, err := diurnal(workload.MediaStreaming, loadgen.VideoDay(), float64(nCores)*3/10)
+		if err != nil {
+			return nil, err
+		}
+		dsPeak, err := peak(workload.DataServing)
+		if err != nil {
+			return nil, err
+		}
+		dsCores := float64(nCores) / 5
+		return []loadgen.Client{
+			{Name: "search", Service: workload.WebSearch, Fraction: 0.5,
+				SLO: loadgen.SLOStrict, Spec: ws},
+			{Name: "video", Service: workload.MediaStreaming, Fraction: 0.3,
+				SLO: loadgen.SLORelaxed, Spec: vid},
+			{Name: "kvstore", Service: workload.DataServing, Fraction: 0.2,
+				Spec: loadgen.Spec{Shape: loadgen.Burst{
+					Base: loadgen.Ramp{
+						StartRPS:  0.3 * dsPeak * dsCores,
+						TargetRPS: 0.7 * dsPeak * dsCores,
+					},
+					Start: windows / 3, Length: burstLen, Every: burstEvery,
+					Magnitude: 1.8,
+				}, Poisson: true}},
+		}, nil
+	}
+
+	var clients []loadgen.Client
+	switch p.trace {
+	case "websearch":
+		spec, err := diurnal(workload.WebSearch, loadgen.WebSearchDay(), float64(nCores))
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		clients = []loadgen.Client{{
+			Name: "search", Service: workload.WebSearch, Fraction: 1, Spec: spec,
+		}}
+	case "video":
+		spec, err := diurnal(workload.MediaStreaming, loadgen.VideoDay(), float64(nCores))
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		clients = []loadgen.Client{{
+			Name: "video", Service: workload.MediaStreaming, Fraction: 1, Spec: spec,
+		}}
+	case "mixed":
+		clients, err = mixedClients()
+		if err != nil {
+			return fleet.Config{}, err
+		}
+	case "failover":
+		clients, err = mixedClients()
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		if p.events == "" {
+			scenario = failoverScenario(p.servers, windows)
+		}
+	default:
+		return fleet.Config{}, fmt.Errorf("unknown fleet trace %q (%s)",
+			p.trace, strings.Join(fleetTraces(), "|"))
+	}
+
+	return fleet.Config{
+		Servers: p.servers, CoresPerServer: p.cores,
+		Traffic:       loadgen.Traffic{Clients: clients, Windows: windows, WindowSec: windowSec},
+		BatchSpeedupB: p.bSpeedup, LSSlowdownB: p.lsSlowdown,
+		WindowRequests: p.windowReq, Workers: p.workers, Seed: p.seed,
+		Scheduler: fleet.SchedulerConfig{Policy: policy},
+		Scenario:  scenario,
+	}, nil
+}
+
+// failoverScenario is the failover trace's default event list: a quarter
+// of the servers (at least one) fails a third of the way through the
+// horizon and returns at two thirds, search picks up a 1.3× redirected
+// surge while the capacity is out, and the last quarter of the fleet is
+// an older generation running at 85% performance.
+func failoverScenario(servers, windows int) loadgen.Scenario {
+	failed := servers / 4
+	if failed < 1 {
+		failed = 1
+	}
+	down, up := windows/3, 2*windows/3
+	var evs []loadgen.Event
+	for s := 0; s < failed; s++ {
+		evs = append(evs,
+			loadgen.Event{Kind: loadgen.EventDrain, Window: down, Server: s},
+			loadgen.Event{Kind: loadgen.EventRestore, Window: up, Server: s},
+		)
+	}
+	if down < up {
+		evs = append(evs, loadgen.Event{
+			Kind: loadgen.EventSurge, Window: down, Until: up, Client: "search", Factor: 1.3,
+		})
+	}
+	for s := servers - servers/4; s < servers; s++ {
+		evs = append(evs, loadgen.Event{Kind: loadgen.EventPerf, Server: s, Factor: 0.85})
+	}
+	return loadgen.Scenario{Events: evs}
+}
+
+// formatFleetResult renders the study (without wall-clock timing, so the
+// output is reproducible and golden-testable).
+func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== fleet: %d servers × %d cores = %d SMT cores, %s traffic, %.0fh ==\n",
+		p.servers, p.cores, res.Cores, p.trace, p.hours)
+	fmt.Fprintf(&b, "policy %s", res.Policy)
+	if n := len(cfg.Scenario.Events); n > 0 {
+		evs := make([]string, n)
+		for i, e := range cfg.Scenario.Events {
+			evs[i] = e.String()
+		}
+		fmt.Fprintf(&b, ", %d events: %s", n, strings.Join(evs, ","))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s %-16s %-9s %6s %12s %12s %12s %10s\n",
+		"client", "service", "slo", "cores", "p99 (ms)", "p99.9 (ms)", "violations", "B hours")
+	for _, cm := range res.Clients {
+		fmt.Fprintf(&b, "%-10s %-16s %-9s %6d %12.1f %12.1f %7d/%-5d %10.0f\n",
+			cm.Client, cm.Service, cm.SLO, cm.Cores, cm.P99Ms, cm.P999Ms,
+			cm.ViolationWindows, cm.CoreWindows, cm.EngagedCoreHours)
+	}
+	fmt.Fprintf(&b, "\nengaged %.0f of %.0f core-hours (%.0f%%), %d controller switches\n",
+		res.EngagedCoreHours, res.TotalCoreHours, 100*res.EngagedCoreHours/res.TotalCoreHours,
+		res.Switches)
+	fmt.Fprintf(&b, "batch core-hours gained vs equal partitioning: %.0f (%+.1f%%)\n",
+		res.BatchCoreHoursGained, 100*res.BatchGain)
+	if res.Migrations+res.DrainedCoreWindows+res.IdleCoreWindows > 0 {
+		fmt.Fprintf(&b, "schedule: %d migration, %d drained, %d idle core-windows\n",
+			res.Migrations, res.DrainedCoreWindows, res.IdleCoreWindows)
+	}
+	return b.String()
+}

@@ -8,6 +8,7 @@
 //	stretchsim -experiment fig9 [-scale full]
 //	stretchsim -experiment all [-scale quick]
 //	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed]
+//	           [-policy static|proportional|p2c] [-events "drain:24:0,..."]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
 //	           [-seed 1] [-fleet-workers 0]
 package main
@@ -20,8 +21,6 @@ import (
 
 	"stretch/internal/experiments"
 	"stretch/internal/fleet"
-	"stretch/internal/loadgen"
-	"stretch/internal/workload"
 )
 
 func main() {
@@ -33,7 +32,9 @@ func main() {
 		fleetMode  = flag.Bool("fleet", false, "run a datacenter-scale fleet study instead of experiments")
 		servers    = flag.Int("servers", 64, "fleet: number of servers")
 		cores      = flag.Int("cores", 16, "fleet: SMT cores per server")
-		traceName  = flag.String("trace", "mixed", "fleet: traffic spec (websearch|video|mixed)")
+		traceName  = flag.String("trace", "mixed", "fleet: traffic spec (websearch|video|mixed|failover)")
+		policy     = flag.String("policy", "static", "fleet: scheduler policy (static|proportional|p2c)")
+		events     = flag.String("events", "", "fleet: scenario events, e.g. \"drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85\" (failover trace has a built-in default)")
 		hours      = flag.Float64("hours", 24, "fleet: horizon in hours")
 		wph        = flag.Int("windows-per-hour", 4, "fleet: monitoring windows per hour")
 		windowReq  = flag.Int("window-requests", 400, "fleet: simulated requests per core-window")
@@ -45,8 +46,13 @@ func main() {
 	flag.Parse()
 
 	if *fleetMode {
-		runFleet(*servers, *cores, *traceName, *hours, *wph, *windowReq, *seed,
-			*fleetWork, *bSpeedup, *lsSlowdown)
+		runFleet(fleetParams{
+			servers: *servers, cores: *cores, trace: *traceName,
+			policy: *policy, events: *events,
+			hours: *hours, wph: *wph, windowReq: *windowReq,
+			seed: *seed, workers: *fleetWork,
+			bSpeedup: *bSpeedup, lsSlowdown: *lsSlowdown,
+		})
 		return
 	}
 
@@ -95,114 +101,11 @@ func main() {
 }
 
 // runFleet builds the named traffic spec and simulates the fleet.
-func runFleet(servers, cores int, traceName string, hours float64, wph, windowReq int,
-	seed uint64, workers int, bSpeedup, lsSlowdown float64) {
-
-	nCores := servers * cores
-	windows := int(hours * float64(wph))
-	windowsPerDay := 24 * wph
-	windowSec := 3600.0 / float64(wph)
-	if windows <= 0 {
-		fmt.Fprintln(os.Stderr, "stretchsim: non-positive fleet horizon")
+func runFleet(p fleetParams) {
+	cfg, err := buildFleetConfig(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stretchsim: %v\n", err)
 		os.Exit(2)
-	}
-
-	// Anchor each service's traffic at its peak sustainable per-core rate
-	// (memoised: the PeakLoad bisection is the expensive part of startup).
-	peaks := map[string]float64{}
-	peak := func(svc string) float64 {
-		if p, ok := peaks[svc]; ok {
-			return p
-		}
-		p, err := fleet.PeakRPSPerCore(svc, 4000, seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stretchsim: %v\n", err)
-			os.Exit(1)
-		}
-		peaks[svc] = p
-		return p
-	}
-
-	var clients []loadgen.Client
-	switch traceName {
-	case "websearch":
-		clients = []loadgen.Client{{
-			Name: "search", Service: workload.WebSearch, Fraction: 1,
-			Spec: loadgen.Spec{Shape: loadgen.Diurnal{
-				HourLoad:      loadgen.WebSearchDay(),
-				PeakRPS:       peak(workload.WebSearch) * float64(nCores),
-				Smooth:        true,
-				WindowsPerDay: windowsPerDay,
-			}, Poisson: true},
-		}}
-	case "video":
-		clients = []loadgen.Client{{
-			Name: "video", Service: workload.MediaStreaming, Fraction: 1,
-			Spec: loadgen.Spec{Shape: loadgen.Diurnal{
-				HourLoad:      loadgen.VideoDay(),
-				PeakRPS:       peak(workload.MediaStreaming) * float64(nCores),
-				Smooth:        true,
-				WindowsPerDay: windowsPerDay,
-			}, Poisson: true},
-		}}
-	case "mixed":
-		// Burst shape for the kvstore client: half-hour spikes every third
-		// of the horizon. Clamp so coarse grains keep a real burst and tiny
-		// horizons degrade to a single burst instead of a permanent one.
-		burstLen := wph / 2
-		if burstLen < 1 {
-			burstLen = 1
-		}
-		burstEvery := windows / 3
-		if burstEvery <= burstLen {
-			burstEvery = 0
-		}
-		wsCores := float64(nCores) / 2
-		vidCores := float64(nCores) * 3 / 10
-		dsCores := float64(nCores) / 5
-		clients = []loadgen.Client{
-			{
-				Name: "search", Service: workload.WebSearch, Fraction: 0.5,
-				SLO: loadgen.SLOStrict,
-				Spec: loadgen.Spec{Shape: loadgen.Diurnal{
-					HourLoad:      loadgen.WebSearchDay(),
-					PeakRPS:       peak(workload.WebSearch) * wsCores,
-					Smooth:        true,
-					WindowsPerDay: windowsPerDay,
-				}, Poisson: true},
-			},
-			{
-				Name: "video", Service: workload.MediaStreaming, Fraction: 0.3,
-				SLO: loadgen.SLORelaxed,
-				Spec: loadgen.Spec{Shape: loadgen.Diurnal{
-					HourLoad:      loadgen.VideoDay(),
-					PeakRPS:       peak(workload.MediaStreaming) * vidCores,
-					Smooth:        true,
-					WindowsPerDay: windowsPerDay,
-				}, Poisson: true},
-			},
-			{
-				Name: "kvstore", Service: workload.DataServing, Fraction: 0.2,
-				Spec: loadgen.Spec{Shape: loadgen.Burst{
-					Base: loadgen.Ramp{
-						StartRPS:  0.3 * peak(workload.DataServing) * dsCores,
-						TargetRPS: 0.7 * peak(workload.DataServing) * dsCores,
-					},
-					Start: windows / 3, Length: burstLen, Every: burstEvery,
-					Magnitude: 1.8,
-				}, Poisson: true},
-			},
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "stretchsim: unknown fleet trace %q (websearch|video|mixed)\n", traceName)
-		os.Exit(2)
-	}
-
-	cfg := fleet.Config{
-		Servers: servers, CoresPerServer: cores,
-		Traffic:       loadgen.Traffic{Clients: clients, Windows: windows, WindowSec: windowSec},
-		BatchSpeedupB: bSpeedup, LSSlowdownB: lsSlowdown,
-		WindowRequests: windowReq, Workers: workers, Seed: seed,
 	}
 	start := time.Now()
 	res, err := fleet.Run(cfg)
@@ -212,21 +115,9 @@ func runFleet(servers, cores int, traceName string, hours float64, wph, windowRe
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("== fleet: %d servers × %d cores = %d SMT cores, %s traffic, %.0fh ==\n",
-		servers, cores, res.Cores, traceName, hours)
-	fmt.Printf("%-10s %-16s %-9s %6s %12s %12s %12s %10s\n",
-		"client", "service", "slo", "cores", "p99 (ms)", "p99.9 (ms)", "violations", "B hours")
-	for _, cm := range res.Clients {
-		fmt.Printf("%-10s %-16s %-9s %6d %12.1f %12.1f %7d/%-5d %10.0f\n",
-			cm.Client, cm.Service, cm.SLO, cm.Cores, cm.P99Ms, cm.P999Ms,
-			cm.ViolationWindows, cm.CoreWindows, cm.EngagedCoreHours)
-	}
-	simReq := float64(res.Cores) * float64(res.Windows) * float64(windowReq)
-	fmt.Printf("\nengaged %.0f of %.0f core-hours (%.0f%%), %d controller switches\n",
-		res.EngagedCoreHours, res.TotalCoreHours, 100*res.EngagedCoreHours/res.TotalCoreHours,
-		res.Switches)
-	fmt.Printf("batch core-hours gained vs equal partitioning: %.0f (%+.1f%%)\n",
-		res.BatchCoreHoursGained, 100*res.BatchGain)
+	fmt.Print(formatFleetResult(p, cfg, res))
+	simReq := float64(res.Cores)*float64(res.Windows) - float64(res.DrainedCoreWindows+res.IdleCoreWindows)
+	simReq *= float64(p.windowReq)
 	fmt.Printf("(%.1fs wall, ~%.1fM simulated requests, %.1fM req/s)\n",
 		elapsed.Seconds(), simReq/1e6, simReq/1e6/elapsed.Seconds())
 }

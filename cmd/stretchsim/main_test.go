@@ -1,0 +1,130 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stretch/internal/fleet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenParams is a small but non-trivial fleet: big enough for the
+// failover scenario to drain a whole server and for every client to hold
+// multiple cores, small enough to keep the test fast.
+func goldenParams(trace, policy string) fleetParams {
+	return fleetParams{
+		servers: 4, cores: 4, trace: trace, policy: policy,
+		hours: 6, wph: 4, windowReq: 150, seed: 1,
+		bSpeedup: 0.13, lsSlowdown: 0.07,
+	}
+}
+
+// TestFleetGolden locks the seed-1 stretchsim -fleet output for every
+// trace (and each scheduler policy on the mixed trace) against committed
+// golden files, so refactors cannot silently shift the paper-facing
+// numbers. Run with -update to rebless after an intentional change.
+func TestFleetGolden(t *testing.T) {
+	cases := []struct{ trace, policy string }{
+		{"websearch", "static"},
+		{"video", "static"},
+		{"mixed", "static"},
+		{"mixed", "proportional"},
+		{"mixed", "p2c"},
+		{"failover", "proportional"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.trace+"_"+tc.policy, func(t *testing.T) {
+			p := goldenParams(tc.trace, tc.policy)
+			cfg, err := buildFleetConfig(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := fleet.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := formatFleetResult(p, cfg, res)
+			path := filepath.Join("testdata", fmt.Sprintf("%s_%s.golden", tc.trace, tc.policy))
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestFleetGoldenRerouting sanity-checks the scenario behind the failover
+// golden: the drained server's load visibly reroutes — the surviving
+// cores' violation pressure and the schedule's drained count must be
+// consistent with one server out for a third of the horizon.
+func TestFleetGoldenRerouting(t *testing.T) {
+	p := goldenParams("failover", "proportional")
+	cfg, err := buildFleetConfig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := int(p.hours * float64(p.wph))
+	down, up := windows/3, 2*windows/3
+	wantDrained := p.cores * (up - down) // one server of 4 cores
+	if res.DrainedCoreWindows != wantDrained {
+		t.Fatalf("drained core-windows %d, want %d", res.DrainedCoreWindows, wantDrained)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("failover scenario scheduled no migrations")
+	}
+	// No offered load is dropped: every client still gets served windows
+	// on the surviving cores throughout the drain.
+	total := 0
+	for _, cm := range res.Clients {
+		total += cm.CoreWindows
+	}
+	if want := res.Cores*windows - res.DrainedCoreWindows - res.IdleCoreWindows; total != want {
+		t.Fatalf("serving core-windows %d, want %d", total, want)
+	}
+}
+
+func TestBuildFleetConfigRejectsBadInput(t *testing.T) {
+	bad := []func(*fleetParams){
+		func(p *fleetParams) { p.trace = "nope" },
+		func(p *fleetParams) { p.policy = "nope" },
+		func(p *fleetParams) { p.events = "drain:banana" },
+		func(p *fleetParams) { p.hours = 0 },
+	}
+	for i, mutate := range bad {
+		p := goldenParams("mixed", "static")
+		mutate(&p)
+		if _, err := buildFleetConfig(p); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	// Events parse and validate against the fleet.
+	p := goldenParams("mixed", "proportional")
+	p.events = "drain:4:0,restore:12:0,surge:6-12:video:1.5,perf:3:0.9"
+	cfg, err := buildFleetConfig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Scenario.Events) != 4 {
+		t.Fatalf("parsed %d events", len(cfg.Scenario.Events))
+	}
+	if _, err := fleet.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,10 +14,17 @@
 // Q-mode pays). Results aggregate into fleet-wide tails (p99/p99.9 over
 // core-window tails), QoS-violation window counts, engaged-core-hours, and
 // batch core-hours gained versus an equal-partitioning deployment.
+//
+// Which client a core serves each window — and at what rate — is decided
+// by the scheduler (see scheduler.go): the static Fraction split, elastic
+// proportional reallocation, or power-of-two-choices routing, optionally
+// under a loadgen.Scenario of server drains, traffic surges and
+// heterogeneous server generations.
 package fleet
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -63,6 +70,15 @@ type Config struct {
 	// Monitor builds each core's controller tuning from its client's
 	// (SLO-scaled) tail target; nil uses monitor.DefaultConfig.
 	Monitor func(targetMs float64) monitor.Config
+
+	// Scheduler selects the core-allocation and load-routing policy; the
+	// zero value is the static Fraction split.
+	Scheduler SchedulerConfig
+
+	// Scenario injects fleet events — server drains/restores, traffic
+	// surges, per-server performance generations. The zero value is an
+	// uneventful run.
+	Scenario loadgen.Scenario
 }
 
 // Validate rejects unusable configurations.
@@ -94,7 +110,10 @@ func (c Config) Validate() error {
 			return fmt.Errorf("fleet: client %q: unknown service %q", cl.Name, cl.Service)
 		}
 	}
-	return nil
+	if err := c.Scheduler.Validate(); err != nil {
+		return err
+	}
+	return c.Scenario.Validate(c.Traffic.Windows, c.Servers, c.Traffic.Clients)
 }
 
 // ClientMetrics aggregates one traffic client's cores.
@@ -102,7 +121,9 @@ type ClientMetrics struct {
 	Client  string
 	Service string
 	SLO     loadgen.SLOClass
-	// Cores is how many SMT cores the client's Fraction bought.
+	// Cores is the client's window-0 allocation; under the elastic
+	// policies the per-window allocation drifts with demand, tracked by
+	// CoreWindows.
 	Cores int
 	// TargetMs is the SLO-scaled tail target its controllers enforce.
 	TargetMs float64
@@ -110,7 +131,7 @@ type ClientMetrics struct {
 	P99Ms, P999Ms float64
 	// ViolationWindows counts core-windows whose tail exceeded the target.
 	ViolationWindows int
-	// CoreWindows is the total core-windows simulated for this client.
+	// CoreWindows is the total core-windows that served this client.
 	CoreWindows int
 	// EngagedCoreHours is the B-mode time integrated over the client's
 	// cores.
@@ -123,6 +144,9 @@ type Result struct {
 	Cores, Windows int
 	WindowSec      float64
 
+	// Policy echoes the scheduler policy the run used.
+	Policy Policy
+
 	// Clients holds per-client aggregates in traffic order.
 	Clients []ClientMetrics
 
@@ -130,9 +154,10 @@ type Result struct {
 	TotalCoreHours float64
 	// EngagedCoreHours is the fleet-wide B-mode time.
 	EngagedCoreHours float64
-	// BatchCoreHoursGained integrates (batchRel − 1) over every
-	// core-window: the extra batch work versus an equal-partitioning
-	// deployment of the same fleet, in core-hours.
+	// BatchCoreHoursGained integrates (batchRel − 1) over every serving
+	// core-window: the extra batch work versus the same schedule run under
+	// equal partitioning, in core-hours. Idle and drained core-windows
+	// contribute nothing to either side.
 	BatchCoreHoursGained float64
 	// BatchGain is BatchCoreHoursGained normalised by TotalCoreHours: the
 	// fleet-wide batch throughput improvement over equal partitioning.
@@ -141,25 +166,33 @@ type Result struct {
 	ViolationWindows int
 	// Switches sums all controllers' mode changes.
 	Switches uint64
+
+	// Migrations counts core-windows that paid the migration penalty
+	// (core handed to a different client than the previous window).
+	Migrations int
+	// DrainedCoreWindows and IdleCoreWindows count out-of-service and
+	// unassigned core-windows in the schedule.
+	DrainedCoreWindows int
+	IdleCoreWindows    int
 }
 
-// coreJob is the per-core work description handed to the pool.
+// coreJob is the per-core work description handed to the pool: the core's
+// full-horizon schedule slice of the plan.
 type coreJob struct {
-	client int
-	rates  []float64 // per-window per-core arrival rate
-	target float64   // SLO-scaled tail target, ms
-	qcfg   queueing.Config
+	perf     float64   // server performance-generation factor
+	client   []int16   // per-window client index (coreIdle / coreDrained)
+	rate     []float64 // per-window arrival rate
+	migrated []bool    // per-window migration-penalty flag
 }
 
 // coreResult is one core's contribution, aggregated deterministically in
-// core order after the pool drains.
+// core order after the pool drains. tails is NaN on non-serving windows.
 type coreResult struct {
-	tails          []float64
-	violations     int
-	engagedWindows int
-	batchRelSum    float64
-	switches       uint64
-	err            error
+	tails    []float64
+	batchRel []float64
+	modeB    []bool
+	switches uint64
+	err      error
 }
 
 // Run simulates the fleet over the traffic horizon.
@@ -181,31 +214,33 @@ func Run(cfg Config) (Result, error) {
 	if monCfg == nil {
 		monCfg = monitor.DefaultConfig
 	}
+	sched := cfg.Scheduler.withDefaults()
 
 	timelines, err := cfg.Traffic.Timelines(cfg.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	coresOf := assignCores(cfg.Traffic.Clients, nCores)
 
-	// Flatten the per-core work list in client order.
-	jobs := make([]coreJob, 0, nCores)
+	// Per-client service configs and SLO-scaled targets.
 	targets := make([]float64, len(cfg.Traffic.Clients))
+	qcfgs := make([]queueing.Config, len(cfg.Traffic.Clients))
 	for ci, cl := range cfg.Traffic.Clients {
 		svc := workload.Services()[cl.Service]
 		targets[ci] = svc.QoSTargetMs * cl.SLO.Scale()
-		qcfg := queueing.Config{
+		qcfgs[ci] = queueing.Config{
 			Workers: svc.Workers, MeanServiceMs: svc.MeanServiceMs,
 			ServiceCV: svc.ServiceCV, BurstProb: svc.BurstProb, BurstLen: svc.BurstLen,
 			QoSQuantile: svc.QoSQuantile, QoSTargetMs: targets[ci],
 		}
-		perCore := make([]float64, windows)
-		for w, r := range timelines[cl.Name] {
-			perCore[w] = r / float64(coresOf[ci])
-		}
-		for j := 0; j < coresOf[ci]; j++ {
-			jobs = append(jobs, coreJob{client: ci, rates: perCore, target: targets[ci], qcfg: qcfg})
-		}
+	}
+
+	// The scheduler pre-pass fixes every core's client and rate for every
+	// window before any goroutine starts, so scheduling decisions never
+	// consume simulation randomness.
+	pl := buildPlan(cfg, sched, timelines)
+	jobs := make([]coreJob, nCores)
+	for c := 0; c < nCores; c++ {
+		jobs[c] = coreJob{perf: pl.perf[c], client: pl.client[c], rate: pl.rate[c], migrated: pl.migrated[c]}
 	}
 
 	// Shard the cores over a worker pool. Each core derives its own rng
@@ -231,8 +266,8 @@ func Run(cfg Config) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = runCore(jobs[i].qcfg, jobs[i].rates, jobs[i].target,
-					monCfg, windowReq, cfg.BatchSpeedupB, cfg.LSSlowdownB, qCost,
+				results[i] = runCore(jobs[i], qcfgs, targets, monCfg, windowReq,
+					cfg.BatchSpeedupB, cfg.LSSlowdownB, qCost, sched.MigrationPenalty,
 					root.Derive(uint64(i)))
 			}
 		}()
@@ -242,30 +277,43 @@ func Run(cfg Config) (Result, error) {
 	// Deterministic aggregation in core order.
 	res := Result{
 		Cores: nCores, Windows: windows, WindowSec: cfg.Traffic.WindowSec,
-		TotalCoreHours: float64(nCores) * cfg.Traffic.Hours(),
+		Policy:             sched.Policy,
+		TotalCoreHours:     float64(nCores) * cfg.Traffic.Hours(),
+		Migrations:         pl.migrations,
+		DrainedCoreWindows: pl.drainedCoreWindows,
+		IdleCoreWindows:    pl.idleCoreWindows,
 	}
 	windowHours := cfg.Traffic.WindowSec / 3600
 	perClient := make([]*stats.Sample, len(cfg.Traffic.Clients))
 	cms := make([]ClientMetrics, len(cfg.Traffic.Clients))
 	for ci, cl := range cfg.Traffic.Clients {
-		perClient[ci] = stats.NewSample(coresOf[ci] * windows)
+		perClient[ci] = stats.NewSample(pl.initialCores[ci] * windows)
 		cms[ci] = ClientMetrics{
 			Client: cl.Name, Service: cl.Service, SLO: cl.SLO,
-			Cores: coresOf[ci], TargetMs: targets[ci],
+			Cores: pl.initialCores[ci], TargetMs: targets[ci],
 		}
 	}
 	for i, r := range results {
 		if r.err != nil {
 			return Result{}, r.err
 		}
-		ci := jobs[i].client
-		for _, tl := range r.tails {
-			perClient[ci].Add(tl)
+		for w := 0; w < windows; w++ {
+			ci := jobs[i].client[w]
+			if ci < 0 {
+				continue
+			}
+			cm := &cms[ci]
+			t := r.tails[w]
+			perClient[ci].Add(t)
+			cm.CoreWindows++
+			if t > targets[ci] {
+				cm.ViolationWindows++
+			}
+			if r.modeB[w] {
+				cm.EngagedCoreHours += windowHours
+			}
+			res.BatchCoreHoursGained += (r.batchRel[w] - 1) * windowHours
 		}
-		cms[ci].ViolationWindows += r.violations
-		cms[ci].CoreWindows += windows
-		cms[ci].EngagedCoreHours += float64(r.engagedWindows) * windowHours
-		res.BatchCoreHoursGained += (r.batchRelSum - float64(windows)) * windowHours
 		res.Switches += r.switches
 	}
 	for ci := range cms {
@@ -279,28 +327,59 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// runCore walks one SMT core through every window: simulate the window's
-// arrivals at the engaged mode's perf factor, feed the tail to the
-// controller, credit the batch thread.
-func runCore(qcfg queueing.Config, rates []float64, targetMs float64,
+// runCore walks one SMT core through its schedule: simulate each serving
+// window's arrivals at the engaged mode's perf factor (scaled by the
+// server's generation and any migration penalty), feed the tail to the
+// controller, credit the batch thread. The controller resets whenever the
+// core starts serving a different client — a handed-over core is a cold
+// start.
+func runCore(job coreJob, qcfgs []queueing.Config, targets []float64,
 	monCfg func(float64) monitor.Config, windowReq int,
-	bGain, lsSlow, qCost float64, stream *rng.Stream) coreResult {
+	bGain, lsSlow, qCost, migPenalty float64, stream *rng.Stream) coreResult {
 
-	ctl, err := monitor.New(monCfg(targetMs))
-	if err != nil {
-		return coreResult{err: err}
+	windows := len(job.client)
+	r := coreResult{
+		tails:    make([]float64, windows),
+		batchRel: make([]float64, windows),
+		modeB:    make([]bool, windows),
 	}
-	r := coreResult{tails: make([]float64, 0, len(rates))}
-	for w, rate := range rates {
-		mode := ctl.Mode()
-		var tail float64
-		if rate > 0 {
-			perf := 1.0
-			if mode == core.ModeB {
-				perf = 1 - lsSlow
+	var ctl *monitor.Controller
+	prev := int16(-3) // matches no client and no sentinel
+	for w := 0; w < windows; w++ {
+		ci := job.client[w]
+		if ci < 0 {
+			r.tails[w] = math.NaN()
+			if ci == coreIdle {
+				// An in-service core with no LS client runs batch exactly
+				// as the equal-partitioning baseline would: no gain.
+				r.batchRel[w] = 1
 			}
+			prev = ci
+			continue
+		}
+		if ci != prev {
+			if ctl != nil {
+				r.switches += ctl.Switches()
+			}
+			var err error
+			ctl, err = monitor.New(monCfg(targets[ci]))
+			if err != nil {
+				return coreResult{err: err}
+			}
+			prev = ci
+		}
+		mode := ctl.Mode()
+		perf := job.perf
+		if mode == core.ModeB {
+			perf *= 1 - lsSlow
+		}
+		if job.migrated[w] {
+			perf *= 1 - migPenalty
+		}
+		var tail float64
+		if rate := job.rate[w]; rate > 0 {
 			seed := stream.Derive(uint64(w)).Uint64()
-			qr, err := queueing.Simulate(qcfg, rate, windowReq, perf, seed)
+			qr, err := queueing.Simulate(qcfgs[ci], rate, windowReq, perf, seed)
 			if err != nil {
 				return coreResult{err: err}
 			}
@@ -308,22 +387,26 @@ func runCore(qcfg queueing.Config, rates []float64, targetMs float64,
 		}
 		// An idle window (a Poisson draw of zero arrivals) reads as zero
 		// tail: maximal slack.
-		r.tails = append(r.tails, tail)
-		if tail > targetMs {
-			r.violations++
-		}
+		r.tails[w] = tail
 		switch mode {
 		case core.ModeB:
-			r.engagedWindows++
-			r.batchRelSum += 1 + bGain
+			r.modeB[w] = true
+			if job.migrated[w] {
+				// Warming the new client's working set eats the bonus.
+				r.batchRel[w] = 1
+			} else {
+				r.batchRel[w] = 1 + bGain
+			}
 		case core.ModeQ:
-			r.batchRelSum += 1 - qCost
+			r.batchRel[w] = 1 - qCost
 		default:
-			r.batchRelSum += 1
+			r.batchRel[w] = 1
 		}
 		ctl.Observe(monitor.Observation{TailMs: tail})
 	}
-	r.switches = ctl.Switches()
+	if ctl != nil {
+		r.switches += ctl.Switches()
+	}
 	return r
 }
 

@@ -1,0 +1,399 @@
+// The fleet scheduler decides, window by window, which client each SMT
+// core serves and at what arrival rate — turning the §VI-D observation
+// that Stretch's value comes from *reacting to load* into a first-class,
+// replayable policy. The whole schedule is computed in a sequential
+// pre-pass from the (already materialised) client timelines and the
+// scenario's drain/surge/perf events, before any simulation goroutine
+// starts: scheduling therefore never consumes simulation randomness, and
+// results stay bit-identical for identical seeds regardless of the worker
+// count.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"stretch/internal/rng"
+	"stretch/internal/workload"
+)
+
+// Policy selects how the scheduler divides cores and load.
+type Policy int
+
+// Scheduler policies.
+const (
+	// PolicyStatic is the fixed split: each client owns the cores its
+	// Fraction bought for the whole horizon, and its load divides evenly
+	// across whichever of them are in service. No cores move between
+	// clients; drained servers still reroute load within the client.
+	PolicyStatic Policy = iota
+	// PolicyProportional re-divides all in-service cores every window in
+	// proportion to each client's current offered load (normalised by its
+	// service's per-core saturation rate), subject to min-core floors and
+	// a rebalance hysteresis; load splits evenly within a client.
+	PolicyProportional
+	// PolicyP2C allocates cores like PolicyProportional but routes each
+	// window's load across a client's cores with power-of-two-choices
+	// instead of an even split: the load arrives in chunks, each chunk
+	// picking the less-loaded of two uniformly sampled cores.
+	PolicyP2C
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStatic:
+		return "static"
+	case PolicyProportional:
+		return "proportional"
+	case PolicyP2C:
+		return "p2c"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a policy name (static|proportional|p2c).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "static", "":
+		return PolicyStatic, nil
+	case "proportional":
+		return PolicyProportional, nil
+	case "p2c":
+		return PolicyP2C, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown policy %q (static|proportional|p2c)", s)
+	}
+}
+
+// SchedulerConfig tunes the elastic reallocation.
+type SchedulerConfig struct {
+	// Policy selects the allocation/routing policy (default static).
+	Policy Policy
+	// MinCores is the per-client core floor the elastic policies respect
+	// (default 1; a degraded fleet with fewer in-service cores than
+	// clients×MinCores lowers the floor).
+	MinCores int
+	// Hysteresis is the fraction of in-service cores that would have to
+	// move before a rebalance is worth its migration cost; smaller demand
+	// drifts keep the current assignment (zero defaults to 0.1). Drains
+	// and restores always force a rebalance.
+	Hysteresis float64
+	// MigrationPenalty models the cost of moving a core to a new client:
+	// for its first window on the new client the core runs the LS service
+	// at (1-MigrationPenalty) of its performance and forfeits its B-mode
+	// batch bonus (cold caches, state handoff). Default 0.25.
+	MigrationPenalty float64
+}
+
+// Defaults used when the corresponding SchedulerConfig field is zero.
+const (
+	defaultMinCores         = 1
+	defaultHysteresis       = 0.1
+	defaultMigrationPenalty = 0.25
+)
+
+// withDefaults fills zero fields.
+func (s SchedulerConfig) withDefaults() SchedulerConfig {
+	if s.MinCores == 0 {
+		s.MinCores = defaultMinCores
+	}
+	if s.Hysteresis == 0 {
+		s.Hysteresis = defaultHysteresis
+	}
+	if s.MigrationPenalty == 0 {
+		s.MigrationPenalty = defaultMigrationPenalty
+	}
+	return s
+}
+
+// Validate rejects unusable tunings. Zero fields are legal (defaulted).
+func (s SchedulerConfig) Validate() error {
+	switch {
+	case s.Policy != PolicyStatic && s.Policy != PolicyProportional && s.Policy != PolicyP2C:
+		return fmt.Errorf("fleet: unknown scheduler policy %d", int(s.Policy))
+	case s.MinCores < 0:
+		return fmt.Errorf("fleet: negative min-core floor")
+	case s.Hysteresis < 0 || s.Hysteresis >= 1:
+		return fmt.Errorf("fleet: hysteresis %v out of [0,1)", s.Hysteresis)
+	case s.MigrationPenalty < 0 || s.MigrationPenalty >= 1:
+		return fmt.Errorf("fleet: migration penalty %v out of [0,1)", s.MigrationPenalty)
+	}
+	return nil
+}
+
+// Core-assignment sentinels used in plan.client.
+const (
+	// coreIdle marks an in-service core with no client this window.
+	coreIdle int16 = -1
+	// coreDrained marks a core whose server is out of service.
+	coreDrained int16 = -2
+)
+
+// p2cChunksPerCore is how many routing chunks each core's share of a
+// window's load splits into; more chunks = smoother balancing.
+const p2cChunksPerCore = 8
+
+// plan is the fully precomputed fleet schedule: for every core and window,
+// the client served (or an idle/drained sentinel), the arrival rate, and
+// whether the core pays the migration penalty this window.
+type plan struct {
+	// perf[core] is the server's performance-generation factor.
+	perf []float64
+	// client[core][window], rate[core][window], migrated[core][window].
+	client   [][]int16
+	rate     [][]float64
+	migrated [][]bool
+
+	// initialCores[clientIndex] is the window-0 allocation.
+	initialCores []int
+	// Aggregate schedule stats.
+	migrations         int
+	drainedCoreWindows int
+	idleCoreWindows    int
+}
+
+// buildPlan computes the schedule. sched must already carry defaults and
+// timelines must cover every client.
+func buildPlan(cfg Config, sched SchedulerConfig, timelines map[string][]float64) *plan {
+	nCores := cfg.Servers * cfg.CoresPerServer
+	windows := cfg.Traffic.Windows
+	clients := cfg.Traffic.Clients
+	n := len(clients)
+
+	names := make([]string, n)
+	rates := make([][]float64, n)
+	sat := make([]float64, n)
+	fracs := make([]float64, n)
+	for i, c := range clients {
+		names[i] = c.Name
+		rates[i] = timelines[c.Name]
+		svc := workload.Services()[c.Service]
+		// Demand normalises offered load by the service's per-core
+		// saturation rate and weights it by SLO class: a strict client
+		// needs proportionally more headroom per unit of load than a
+		// relaxed one, whose slack the batch side can harvest instead.
+		sat[i] = float64(svc.Workers) * 1000 / svc.MeanServiceMs * c.SLO.Scale()
+		fracs[i] = c.Fraction
+	}
+	perfGen := cfg.Scenario.PerfFactors(cfg.Servers)
+	drained := cfg.Scenario.DrainMask(cfg.Servers, windows)
+	surge := cfg.Scenario.SurgeMatrix(names, windows)
+
+	p := &plan{
+		perf:         make([]float64, nCores),
+		client:       make([][]int16, nCores),
+		rate:         make([][]float64, nCores),
+		migrated:     make([][]bool, nCores),
+		initialCores: make([]int, n),
+	}
+	for c := 0; c < nCores; c++ {
+		p.perf[c] = perfGen[c/cfg.CoresPerServer]
+		p.client[c] = make([]int16, windows)
+		p.rate[c] = make([]float64, windows)
+		p.migrated[c] = make([]bool, windows)
+	}
+
+	// Owners start from the static Fraction split; elastic policies adjust
+	// them window by window. Drained cores keep their owner so a restored
+	// server resumes where it left off until the next rebalance.
+	owner := make([]int16, nCores)
+	idx := 0
+	for ci, k := range assignCores(clients, nCores) {
+		for j := 0; j < k; j++ {
+			owner[idx] = int16(ci)
+			idx++
+		}
+	}
+	for ; idx < nCores; idx++ {
+		owner[idx] = coreIdle
+	}
+
+	route := rng.New(cfg.Seed).Derive(0x70C2)
+	active := make([]bool, nCores)
+	load := make([]float64, n)
+	cur := make([]int, n)
+	byClient := make([][]int, n)
+
+	for w := 0; w < windows; w++ {
+		nActive := 0
+		drainChanged := w == 0
+		for c := 0; c < nCores; c++ {
+			a := !drained[c/cfg.CoresPerServer][w]
+			if w > 0 && a != active[c] {
+				drainChanged = true
+			}
+			active[c] = a
+			if a {
+				nActive++
+			}
+		}
+		for ci := 0; ci < n; ci++ {
+			load[ci] = rates[ci][w] * surge[ci][w]
+		}
+
+		if sched.Policy != PolicyStatic && nActive > 0 {
+			for ci := range cur {
+				cur[ci] = 0
+			}
+			for c := 0; c < nCores; c++ {
+				if active[c] && owner[c] >= 0 {
+					cur[owner[c]]++
+				}
+			}
+			demand := make([]float64, n)
+			for ci := range demand {
+				demand[ci] = load[ci] / sat[ci]
+			}
+			desired := allocCounts(demand, fracs, nActive, sched.MinCores)
+			moves := 0
+			for ci := range desired {
+				if d := desired[ci] - cur[ci]; d > 0 {
+					moves += d
+				}
+			}
+			if drainChanged || float64(moves) > sched.Hysteresis*float64(nActive) {
+				rebalance(owner, active, cur, desired)
+			}
+		}
+
+		// Record assignments, migrations and per-client core lists.
+		for ci := range byClient {
+			byClient[ci] = byClient[ci][:0]
+		}
+		for c := 0; c < nCores; c++ {
+			cl := owner[c]
+			if !active[c] {
+				cl = coreDrained
+			}
+			p.client[c][w] = cl
+			switch {
+			case cl == coreDrained:
+				p.drainedCoreWindows++
+			case cl == coreIdle:
+				p.idleCoreWindows++
+			default:
+				if w > 0 && p.client[c][w-1] != cl {
+					p.migrated[c][w] = true
+					p.migrations++
+				}
+				byClient[cl] = append(byClient[cl], c)
+				if w == 0 {
+					p.initialCores[cl]++
+				}
+			}
+		}
+
+		// Route each client's offered load across its in-service cores.
+		for ci := 0; ci < n; ci++ {
+			cores := byClient[ci]
+			k := len(cores)
+			if k == 0 || load[ci] == 0 {
+				continue
+			}
+			if sched.Policy == PolicyP2C && k > 1 {
+				chunks := p2cChunksPerCore * k
+				q := load[ci] / float64(chunks)
+				per := make([]float64, k)
+				for j := 0; j < chunks; j++ {
+					a := route.Intn(k)
+					if b := route.Intn(k); per[b] < per[a] {
+						a = b
+					}
+					per[a] += q
+				}
+				for i, c := range cores {
+					p.rate[c][w] = per[i]
+				}
+			} else {
+				r := load[ci] / float64(k)
+				for _, c := range cores {
+					p.rate[c][w] = r
+				}
+			}
+		}
+	}
+	return p
+}
+
+// allocCounts divides nActive cores across clients proportionally to
+// demand (falling back to the configured fractions when no client offers
+// load), with a per-client floor and largest-remainder rounding. The
+// result always sums to min(nActive, …): every in-service core is put to
+// work — a core serving a lightly loaded client still harvests B-mode
+// batch hours, an idle one harvests nothing.
+func allocCounts(demand, fracs []float64, nActive, minCores int) []int {
+	n := len(demand)
+	out := make([]int, n)
+	if nActive <= 0 || n == 0 {
+		return out
+	}
+	sum := 0.0
+	for _, d := range demand {
+		sum += d
+	}
+	if sum <= 0 {
+		demand = fracs
+		sum = 0
+		for _, d := range demand {
+			sum += d
+		}
+	}
+	floor := minCores
+	if floor > nActive/n {
+		floor = nActive / n
+	}
+	spare := nActive - floor*n
+	type share struct {
+		idx  int
+		frac float64
+	}
+	shares := make([]share, n)
+	used := 0
+	for i, d := range demand {
+		exact := d / sum * float64(spare)
+		k := int(exact)
+		out[i] = floor + k
+		used += k
+		shares[i] = share{i, exact - float64(k)}
+	}
+	sort.SliceStable(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
+	for k := 0; used < spare; k = (k + 1) % n {
+		out[shares[k].idx]++
+		used++
+	}
+	return out
+}
+
+// rebalance minimally edits the owner mapping so each client's in-service
+// core count matches desired: surplus clients release their highest-index
+// cores, deficit clients claim the lowest-index free ones. cur is updated
+// in place.
+func rebalance(owner []int16, active []bool, cur, desired []int) {
+	var free []int
+	for c := len(owner) - 1; c >= 0; c-- {
+		if !active[c] {
+			continue
+		}
+		ci := owner[c]
+		if ci == coreIdle {
+			free = append(free, c)
+			continue
+		}
+		if cur[ci] > desired[ci] {
+			owner[c] = coreIdle
+			cur[ci]--
+			free = append(free, c)
+		}
+	}
+	sort.Ints(free)
+	fi := 0
+	for ci := range desired {
+		for cur[ci] < desired[ci] && fi < len(free) {
+			owner[free[fi]] = int16(ci)
+			fi++
+			cur[ci]++
+		}
+	}
+}

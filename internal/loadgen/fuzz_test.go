@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"stretch/internal/rng"
+)
+
+// boundRate keeps fuzzed rate parameters inside a range that cannot
+// overflow the window populations; NaN/Inf pass through (math.Mod yields
+// NaN) so the validation paths still see non-finite inputs.
+func boundRate(v float64) float64 { return math.Mod(v, 1e9) }
+
+// FuzzSpecTimeline drives Spec.Timeline over fuzzed shape compositions:
+// whatever the inputs, materialisation must never panic, and any accepted
+// spec must yield exactly `windows` finite non-negative rates.
+func FuzzSpecTimeline(f *testing.F) {
+	// One seed per shape kind, plus a composed burst and an invalid one.
+	f.Add(0, 120.0, 0.0, 0.0, 0.0, 0, 0, 24, 300.0, true, uint64(1))
+	f.Add(1, 10.0, 500.0, 25.0, 0.0, 2, 0, 48, 60.0, false, uint64(2))
+	f.Add(2, 0.9, 800.0, 0.4, 0.0, 24, 0, 96, 900.0, true, uint64(3))
+	f.Add(3, 100.0, 0.0, 0.0, 1.8, 4, 2, 36, 300.0, true, uint64(4))
+	f.Add(0, -5.0, 0.0, 0.0, 0.0, 0, 0, 8, 1.0, false, uint64(5))
+	f.Fuzz(func(t *testing.T, kind int, a, b, c, d float64, e, g, windows int, windowSec float64, poisson bool, seed uint64) {
+		a, b, c, d = boundRate(a), boundRate(b), boundRate(c), boundRate(d)
+		windows %= 4096
+		windowSec = math.Mod(windowSec, 3600)
+		var shape Shape
+		switch k := kind % 4; k {
+		case 1, -1:
+			shape = Ramp{StartRPS: a, TargetRPS: b, StepRPS: c, WindowsPerStep: e}
+		case 2, -2:
+			var day [24]float64
+			for h := range day {
+				day[h] = a * float64(h%5) / 4
+			}
+			shape = Diurnal{HourLoad: day, PeakRPS: b, Smooth: poisson, WindowsPerDay: e}
+		case 3, -3:
+			shape = Burst{Base: Constant{Rate: a}, Start: e, Length: g, Every: e * 2, Magnitude: d}
+		default:
+			shape = Constant{Rate: a}
+		}
+		tl, err := (Spec{Shape: shape, Poisson: poisson}).Timeline(windows, windowSec, rng.New(seed))
+		if err != nil {
+			return
+		}
+		if len(tl) != windows {
+			t.Fatalf("accepted spec produced %d of %d windows", len(tl), windows)
+		}
+		for w, r := range tl {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				t.Fatalf("window %d: rate %v (shape %#v)", w, r, shape)
+			}
+		}
+	})
+}
+
+// FuzzTrafficValidate checks the Validate→Timelines contract: any traffic
+// spec Validate accepts must materialise without error.
+func FuzzTrafficValidate(f *testing.F) {
+	f.Add("a", "b", 0.5, 0.5, 100.0, 50.0, 24, 3600.0, uint64(1))
+	f.Add("x", "x", 0.3, 0.3, 10.0, -1.0, 8, 60.0, uint64(2))
+	f.Add("", "y", 0.9, 0.2, 1e8, 0.0, 100, 1.0, uint64(3))
+	f.Fuzz(func(t *testing.T, name1, name2 string, frac1, frac2, rate1, rate2 float64, windows int, windowSec float64, seed uint64) {
+		windows %= 2048
+		windowSec = math.Mod(windowSec, 3600)
+		tr := Traffic{
+			Windows: windows, WindowSec: windowSec,
+			Clients: []Client{
+				{Name: name1, Service: "web-search", Fraction: frac1,
+					Spec: Spec{Shape: Constant{Rate: boundRate(rate1)}}},
+				{Name: name2, Service: "data-serving", Fraction: frac2, SLO: SLORelaxed,
+					Spec: Spec{Shape: Constant{Rate: boundRate(rate2)}, Poisson: true}},
+			},
+		}
+		if tr.Validate() != nil {
+			return
+		}
+		tls, err := tr.Timelines(seed)
+		if err != nil {
+			t.Fatalf("validated traffic failed to materialise: %v", err)
+		}
+		if len(tls) != 2 {
+			t.Fatalf("materialised %d clients", len(tls))
+		}
+	})
+}
+
+// FuzzParseEvents checks the event grammar: parsing must never panic, and
+// whatever parses must round-trip through Event.String.
+func FuzzParseEvents(f *testing.F) {
+	f.Add("drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85")
+	f.Add("drain:-1:99")
+	f.Add("surge:5-3:x:0")
+	f.Add(":::,")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseEvents(s)
+		if err != nil {
+			return
+		}
+		var parts []string
+		for _, e := range sc.Events {
+			parts = append(parts, e.String())
+		}
+		rt, err := ParseEvents(joinComma(parts))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		if len(sc.Events) > 0 && !reflect.DeepEqual(rt.Events, sc.Events) {
+			t.Fatalf("round trip of %q drifted: %+v vs %+v", s, rt.Events, sc.Events)
+		}
+	})
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}

@@ -12,6 +12,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 
 	"stretch/internal/rng"
 )
@@ -169,23 +170,43 @@ type Spec struct {
 	Poisson bool
 }
 
-// validateShape rejects degenerate shape compositions before they
-// silently produce something other than what was asked for.
+// validateShape rejects degenerate shape compositions and parameters
+// before they silently produce something other than what was asked for.
+// Only the built-in shapes are inspected; custom Shape implementations are
+// trusted to return non-negative finite rates.
 func validateShape(s Shape) error {
-	b, ok := s.(Burst)
-	if !ok {
+	nonneg := func(what string, vs ...float64) error {
+		for _, v := range vs {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("loadgen: %s %v must be non-negative and finite", what, v)
+			}
+		}
 		return nil
 	}
-	if b.Base == nil {
-		return fmt.Errorf("loadgen: burst without a base shape")
+	switch v := s.(type) {
+	case Constant:
+		return nonneg("constant rate", v.Rate)
+	case Ramp:
+		return nonneg("ramp rate", v.StartRPS, v.TargetRPS, v.StepRPS)
+	case Diurnal:
+		if err := nonneg("diurnal peak", v.PeakRPS); err != nil {
+			return err
+		}
+		return nonneg("diurnal hour load", v.HourLoad[:]...)
+	case Burst:
+		if v.Base == nil {
+			return fmt.Errorf("loadgen: burst without a base shape")
+		}
+		if v.Every > 0 && v.Length >= v.Every {
+			return fmt.Errorf("loadgen: burst length %d >= period %d would be a permanent multiplier, not bursts", v.Length, v.Every)
+		}
+		if err := nonneg("burst magnitude", v.Magnitude); err != nil {
+			return err
+		}
+		return validateShape(v.Base)
+	default:
+		return nil
 	}
-	if b.Every > 0 && b.Length >= b.Every {
-		return fmt.Errorf("loadgen: burst length %d >= period %d would be a permanent multiplier, not bursts", b.Length, b.Every)
-	}
-	if b.Magnitude < 0 {
-		return fmt.Errorf("loadgen: negative burst magnitude")
-	}
-	return validateShape(b.Base)
 }
 
 // Timeline materialises the spec into per-window arrival rates
@@ -297,11 +318,14 @@ func (t Traffic) Validate() error {
 		if c.Service == "" {
 			return fmt.Errorf("loadgen: client %q without a service", c.Name)
 		}
-		if c.Fraction <= 0 {
-			return fmt.Errorf("loadgen: client %q fraction %v must be positive", c.Name, c.Fraction)
+		if !(c.Fraction > 0) || math.IsInf(c.Fraction, 0) {
+			return fmt.Errorf("loadgen: client %q fraction %v must be positive and finite", c.Name, c.Fraction)
 		}
 		if c.Spec.Shape == nil {
 			return fmt.Errorf("loadgen: client %q without an arrival shape", c.Name)
+		}
+		if err := validateShape(c.Spec.Shape); err != nil {
+			return fmt.Errorf("loadgen: client %q: %w", c.Name, err)
 		}
 		sum += c.Fraction
 	}

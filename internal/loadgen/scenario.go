@@ -1,0 +1,293 @@
+// Scenario events extend a Traffic spec with the fleet-level incidents the
+// §VI-D cluster studies motivate: servers draining for maintenance or
+// failing outright, traffic surges redirected onto a client, and
+// heterogeneous server generations running at a fraction of the newest
+// hardware's single-thread performance. Events are pure data — the fleet
+// engine consumes them through the precomputed masks below, so a scenario
+// never perturbs the seed-derived arrival noise and results stay
+// bit-identical across worker counts.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventKind discriminates scenario events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventDrain takes every core of a server out of service starting at
+	// Window (maintenance drain or failure); its clients' load reroutes to
+	// their remaining cores.
+	EventDrain EventKind = iota
+	// EventRestore returns a drained server to service at Window.
+	EventRestore
+	// EventSurge multiplies a client's offered load by Factor over
+	// [Window, Until) — a redirected traffic spike on top of the client's
+	// arrival spec.
+	EventSurge
+	// EventPerf pins a server's cores at Factor of full single-thread
+	// performance for the whole horizon (an older hardware generation).
+	EventPerf
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventDrain:
+		return "drain"
+	case EventRestore:
+		return "restore"
+	case EventSurge:
+		return "surge"
+	case EventPerf:
+		return "perf"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scenario incident. Which fields matter depends on Kind:
+// drain/restore use Window and Server; surge uses Window, Until, Client and
+// Factor; perf uses Server and Factor.
+type Event struct {
+	Kind   EventKind
+	Window int
+	Until  int
+	Server int
+	Client string
+	Factor float64
+}
+
+// String renders the event in ParseEvents syntax.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventDrain, EventRestore:
+		return fmt.Sprintf("%s:%d:%d", e.Kind, e.Window, e.Server)
+	case EventSurge:
+		return fmt.Sprintf("surge:%d-%d:%s:%g", e.Window, e.Until, e.Client, e.Factor)
+	case EventPerf:
+		return fmt.Sprintf("perf:%d:%g", e.Server, e.Factor)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// Scenario is an ordered set of events applied to one fleet run.
+type Scenario struct {
+	Events []Event
+}
+
+// ParseEvents parses a comma-separated event list:
+//
+//	drain:<window>:<server>      drain server at window
+//	restore:<window>:<server>    restore a drained server
+//	surge:<from>-<to>:<client>:<factor>   multiply client load on [from,to)
+//	perf:<server>:<factor>       server runs at factor of full perf
+//
+// e.g. "drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85".
+// Bounds against a concrete fleet are checked later by Validate.
+func ParseEvents(s string) (Scenario, error) {
+	var sc Scenario
+	if strings.TrimSpace(s) == "" {
+		return sc, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(tok), ":")
+		ev, err := parseEvent(parts)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("loadgen: event %q: %w", tok, err)
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	return sc, nil
+}
+
+func parseEvent(parts []string) (Event, error) {
+	bad := func(format string) (Event, error) {
+		return Event{}, fmt.Errorf("want %s", format)
+	}
+	switch parts[0] {
+	case "drain", "restore":
+		if len(parts) != 3 {
+			return bad(parts[0] + ":<window>:<server>")
+		}
+		w, err1 := strconv.Atoi(parts[1])
+		srv, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return bad(parts[0] + ":<window>:<server>")
+		}
+		kind := EventDrain
+		if parts[0] == "restore" {
+			kind = EventRestore
+		}
+		return Event{Kind: kind, Window: w, Server: srv}, nil
+	case "surge":
+		if len(parts) != 4 {
+			return bad("surge:<from>-<to>:<client>:<factor>")
+		}
+		from, to, ok := strings.Cut(parts[1], "-")
+		w, err1 := strconv.Atoi(from)
+		u, err2 := strconv.Atoi(to)
+		f, err3 := strconv.ParseFloat(parts[3], 64)
+		if !ok || err1 != nil || err2 != nil || err3 != nil || parts[2] == "" {
+			return bad("surge:<from>-<to>:<client>:<factor>")
+		}
+		return Event{Kind: EventSurge, Window: w, Until: u, Client: parts[2], Factor: f}, nil
+	case "perf":
+		if len(parts) != 3 {
+			return bad("perf:<server>:<factor>")
+		}
+		srv, err1 := strconv.Atoi(parts[1])
+		f, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return bad("perf:<server>:<factor>")
+		}
+		return Event{Kind: EventPerf, Server: srv, Factor: f}, nil
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q (drain|restore|surge|perf)", parts[0])
+	}
+}
+
+// Validate checks every event against a concrete fleet shape: windows in
+// horizon, servers in range, surge clients present in the traffic, factors
+// usable. A zero Scenario is always valid.
+func (sc Scenario) Validate(windows, servers int, clients []Client) error {
+	known := make(map[string]bool, len(clients))
+	for _, c := range clients {
+		known[c.Name] = true
+	}
+	for _, e := range sc.Events {
+		switch e.Kind {
+		case EventDrain, EventRestore:
+			if e.Window < 0 || e.Window >= windows {
+				return fmt.Errorf("loadgen: %s window %d outside horizon [0,%d)", e.Kind, e.Window, windows)
+			}
+			if e.Server < 0 || e.Server >= servers {
+				return fmt.Errorf("loadgen: %s server %d outside fleet [0,%d)", e.Kind, e.Server, servers)
+			}
+		case EventSurge:
+			if e.Window < 0 || e.Until > windows || e.Window >= e.Until {
+				return fmt.Errorf("loadgen: surge range [%d,%d) invalid for horizon %d", e.Window, e.Until, windows)
+			}
+			if !known[e.Client] {
+				return fmt.Errorf("loadgen: surge targets unknown client %q", e.Client)
+			}
+			if !(e.Factor > 0) || math.IsInf(e.Factor, 0) {
+				return fmt.Errorf("loadgen: surge factor %v must be a positive finite multiplier", e.Factor)
+			}
+		case EventPerf:
+			if e.Server < 0 || e.Server >= servers {
+				return fmt.Errorf("loadgen: perf server %d outside fleet [0,%d)", e.Server, servers)
+			}
+			if !(e.Factor > 0) || e.Factor > 1 {
+				return fmt.Errorf("loadgen: perf factor %v out of (0,1]", e.Factor)
+			}
+		default:
+			return fmt.Errorf("loadgen: unknown event kind %d", e.Kind)
+		}
+	}
+	return nil
+}
+
+// PerfFactors returns each server's performance-generation factor (1.0
+// unless an EventPerf overrides it). The last perf event for a server wins.
+func (sc Scenario) PerfFactors(servers int) []float64 {
+	out := make([]float64, servers)
+	for i := range out {
+		out[i] = 1
+	}
+	for _, e := range sc.Events {
+		if e.Kind == EventPerf && e.Server >= 0 && e.Server < servers {
+			out[e.Server] = e.Factor
+		}
+	}
+	return out
+}
+
+// DrainMask returns drained[server][window]: whether the server is out of
+// service during the window. A drain holds until the server's next restore
+// (or the end of the horizon).
+func (sc Scenario) DrainMask(servers, windows int) [][]bool {
+	out := make([][]bool, servers)
+	for i := range out {
+		out[i] = make([]bool, windows)
+	}
+	// Per-server drain/restore edges, in window order; ties at the same
+	// window resolve restore-last so drain:W,restore:W leaves the server up.
+	type edge struct {
+		window int
+		drain  bool
+	}
+	edges := make([][]edge, servers)
+	for _, e := range sc.Events {
+		if e.Server < 0 || e.Server >= servers {
+			continue
+		}
+		switch e.Kind {
+		case EventDrain:
+			edges[e.Server] = append(edges[e.Server], edge{e.Window, true})
+		case EventRestore:
+			edges[e.Server] = append(edges[e.Server], edge{e.Window, false})
+		}
+	}
+	for s, es := range edges {
+		sort.SliceStable(es, func(a, b int) bool {
+			if es[a].window != es[b].window {
+				return es[a].window < es[b].window
+			}
+			return es[a].drain && !es[b].drain
+		})
+		down := false
+		ei := 0
+		for w := 0; w < windows; w++ {
+			for ei < len(es) && es[ei].window <= w {
+				down = es[ei].drain
+				ei++
+			}
+			out[s][w] = down
+		}
+	}
+	return out
+}
+
+// SurgeMatrix returns factor[clientIndex][window]: the product of all surge
+// multipliers active on that client at that window (1.0 when none).
+func (sc Scenario) SurgeMatrix(clients []string, windows int) [][]float64 {
+	out := make([][]float64, len(clients))
+	for i := range out {
+		out[i] = make([]float64, windows)
+		for w := range out[i] {
+			out[i][w] = 1
+		}
+	}
+	idx := make(map[string]int, len(clients))
+	for i, n := range clients {
+		idx[n] = i
+	}
+	for _, e := range sc.Events {
+		if e.Kind != EventSurge {
+			continue
+		}
+		ci, ok := idx[e.Client]
+		if !ok {
+			continue
+		}
+		lo, hi := e.Window, e.Until
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > windows {
+			hi = windows
+		}
+		for w := lo; w < hi; w++ {
+			out[ci][w] *= e.Factor
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseEvents(t *testing.T) {
+	sc, err := ParseEvents("drain:24:0, restore:72:0,surge:30-40:video:1.8,perf:3:0.85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: EventDrain, Window: 24, Server: 0},
+		{Kind: EventRestore, Window: 72, Server: 0},
+		{Kind: EventSurge, Window: 30, Until: 40, Client: "video", Factor: 1.8},
+		{Kind: EventPerf, Server: 3, Factor: 0.85},
+	}
+	if !reflect.DeepEqual(sc.Events, want) {
+		t.Fatalf("parsed %+v", sc.Events)
+	}
+	// Events round-trip through String.
+	var parts []string
+	for _, e := range sc.Events {
+		parts = append(parts, e.String())
+	}
+	rt, err := ParseEvents(strings.Join(parts, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rt.Events, want) {
+		t.Fatalf("round trip %+v", rt.Events)
+	}
+	if sc, err := ParseEvents("  "); err != nil || len(sc.Events) != 0 {
+		t.Fatalf("empty spec: %v %v", sc, err)
+	}
+}
+
+func TestParseEventsRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"drain:24",
+		"drain:x:0",
+		"restore:1:y",
+		"surge:30:video:1.8",
+		"surge:30-40:video:x",
+		"surge:30-40::1.8",
+		"perf:3",
+		"perf:3:abc",
+		"teleport:1:2",
+	} {
+		if _, err := ParseEvents(s); err == nil {
+			t.Errorf("%q accepted", s)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	clients := []Client{{Name: "a"}, {Name: "b"}}
+	ok := Scenario{Events: []Event{
+		{Kind: EventDrain, Window: 0, Server: 3},
+		{Kind: EventRestore, Window: 9, Server: 3},
+		{Kind: EventSurge, Window: 2, Until: 5, Client: "b", Factor: 2},
+		{Kind: EventPerf, Server: 0, Factor: 0.8},
+	}}
+	if err := ok.Validate(10, 4, clients); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Scenario{}).Validate(10, 4, clients); err != nil {
+		t.Fatalf("zero scenario rejected: %v", err)
+	}
+	bad := []Event{
+		{Kind: EventDrain, Window: 10, Server: 0},                          // past horizon
+		{Kind: EventDrain, Window: -1, Server: 0},                          // negative window
+		{Kind: EventRestore, Window: 0, Server: 4},                         // server out of range
+		{Kind: EventSurge, Window: 5, Until: 5, Client: "a", Factor: 2},    // empty range
+		{Kind: EventSurge, Window: 0, Until: 11, Client: "a", Factor: 2},   // past horizon
+		{Kind: EventSurge, Window: 0, Until: 5, Client: "nope", Factor: 2}, // unknown client
+		{Kind: EventSurge, Window: 0, Until: 5, Client: "a", Factor: 0},    // zero factor
+		{Kind: EventPerf, Server: 0, Factor: 0},                            // zero perf
+		{Kind: EventPerf, Server: 0, Factor: 1.2},                          // >1 perf
+		{Kind: EventKind(99), Window: 0},                                   // unknown kind
+	}
+	for i, e := range bad {
+		if err := (Scenario{Events: []Event{e}}).Validate(10, 4, clients); err == nil {
+			t.Errorf("bad event %d (%+v) accepted", i, e)
+		}
+	}
+}
+
+func TestDrainMask(t *testing.T) {
+	sc := Scenario{Events: []Event{
+		{Kind: EventDrain, Window: 2, Server: 1},
+		{Kind: EventRestore, Window: 5, Server: 1},
+		{Kind: EventDrain, Window: 7, Server: 1},
+		{Kind: EventDrain, Window: 4, Server: 0},
+	}}
+	m := sc.DrainMask(2, 9)
+	// Server 0: drained from 4 to the end (no restore).
+	for w := 0; w < 9; w++ {
+		want := w >= 4
+		if m[0][w] != want {
+			t.Errorf("server 0 window %d: %v", w, m[0][w])
+		}
+	}
+	// Server 1: down [2,5), up [5,7), down again from 7.
+	for w := 0; w < 9; w++ {
+		want := (w >= 2 && w < 5) || w >= 7
+		if m[1][w] != want {
+			t.Errorf("server 1 window %d: %v", w, m[1][w])
+		}
+	}
+	// Same-window drain+restore leaves the server up.
+	tie := Scenario{Events: []Event{
+		{Kind: EventDrain, Window: 3, Server: 0},
+		{Kind: EventRestore, Window: 3, Server: 0},
+	}}
+	if tie.DrainMask(1, 5)[0][3] {
+		t.Error("same-window drain+restore left server down")
+	}
+}
+
+func TestSurgeMatrixStacks(t *testing.T) {
+	sc := Scenario{Events: []Event{
+		{Kind: EventSurge, Window: 1, Until: 4, Client: "a", Factor: 2},
+		{Kind: EventSurge, Window: 3, Until: 6, Client: "a", Factor: 1.5},
+		{Kind: EventSurge, Window: 0, Until: 2, Client: "b", Factor: 3},
+	}}
+	m := sc.SurgeMatrix([]string{"a", "b"}, 6)
+	wantA := []float64{1, 2, 2, 3, 1.5, 1.5}
+	for w, v := range wantA {
+		if m[0][w] != v {
+			t.Errorf("a window %d: got %v want %v", w, m[0][w], v)
+		}
+	}
+	if m[1][0] != 3 || m[1][2] != 1 {
+		t.Errorf("b: %v", m[1])
+	}
+}
+
+func TestPerfFactors(t *testing.T) {
+	sc := Scenario{Events: []Event{
+		{Kind: EventPerf, Server: 1, Factor: 0.8},
+		{Kind: EventPerf, Server: 1, Factor: 0.9}, // last wins
+	}}
+	got := sc.PerfFactors(3)
+	if !reflect.DeepEqual(got, []float64{1, 0.9, 1}) {
+		t.Fatalf("perf factors %v", got)
+	}
+}
+
+func TestShapeParameterValidation(t *testing.T) {
+	bad := []Shape{
+		Constant{Rate: -1},
+		Ramp{StartRPS: -5, TargetRPS: 10},
+		Diurnal{HourLoad: [24]float64{0: -0.1}, PeakRPS: 100},
+		Burst{Base: Constant{Rate: -1}, Length: 1, Magnitude: 2},
+	}
+	for i, sh := range bad {
+		tr := validTraffic()
+		tr.Clients[0].Spec.Shape = sh
+		if err := tr.Validate(); err == nil {
+			t.Errorf("shape %d accepted by Traffic.Validate", i)
+		}
+	}
+}

@@ -12,8 +12,8 @@
 package queueing
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"stretch/internal/rng"
 	"stretch/internal/stats"
@@ -39,18 +39,24 @@ type Config struct {
 	QoSTargetMs float64
 }
 
-// Validate rejects unusable configurations.
+// Validate rejects unusable configurations. Float parameters must be
+// finite: a NaN or Inf would silently poison every latency sample.
 func (c Config) Validate() error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 	switch {
 	case c.Workers <= 0:
 		return fmt.Errorf("queueing: need at least one worker")
-	case c.MeanServiceMs <= 0:
+	case !finite(c.MeanServiceMs) || c.MeanServiceMs <= 0:
 		return fmt.Errorf("queueing: non-positive service time")
-	case c.ServiceCV < 0:
+	case !finite(c.ServiceCV) || c.ServiceCV < 0:
 		return fmt.Errorf("queueing: negative service CV")
-	case c.QoSQuantile <= 0 || c.QoSQuantile >= 1:
+	case !finite(c.BurstProb) || c.BurstProb < 0 || c.BurstProb > 1:
+		return fmt.Errorf("queueing: burst probability out of [0,1]")
+	case !finite(c.BurstLen) || c.BurstLen < 0:
+		return fmt.Errorf("queueing: negative burst length")
+	case !finite(c.QoSQuantile) || c.QoSQuantile <= 0 || c.QoSQuantile >= 1:
 		return fmt.Errorf("queueing: QoS quantile out of (0,1)")
-	case c.QoSTargetMs <= 0:
+	case !finite(c.QoSTargetMs) || c.QoSTargetMs <= 0:
 		return fmt.Errorf("queueing: non-positive QoS target")
 	}
 	return nil
@@ -65,25 +71,57 @@ type Result struct {
 	QoSMs float64
 	// MeetsQoS reports QoSMs <= QoSTargetMs.
 	MeetsQoS bool
-	// MaxQueue is the deepest queue observed.
+	// MaxQueue is the deepest queue observed: the most requests that had
+	// arrived but not yet started service at any arrival instant.
 	MaxQueue int
 	// Requests is the number of completed requests measured.
 	Requests int
 }
 
-// workerHeap tracks worker free times.
-type workerHeap []float64
+// minHeap is a float64 min-heap, used both for worker free times and for
+// the start times of queued requests. It is hand-rolled rather than built
+// on container/heap so the simulator's hot loop pays no interface boxing
+// allocations.
+type minHeap []float64
 
-func (h workerHeap) Len() int            { return len(h) }
-func (h workerHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *workerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *minHeap) push(x float64) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *minHeap) popMin() float64 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l] < s[small] {
+			small = l
+		}
+		if r < n && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // Simulate runs nRequests through the service at the given arrival rate
@@ -106,8 +144,7 @@ func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64,
 	// FCFS k-server queue processed in arrival order: with identical
 	// workers, assigning each request to the earliest-free worker in
 	// arrival order is exactly FCFS.
-	workers := make(workerHeap, cfg.Workers)
-	heap.Init(&workers)
+	workers := make(minHeap, cfg.Workers)
 
 	meanGapMs := 1000 / ratePerSec
 	now := 0.0 // arrival clock, ms
@@ -116,6 +153,12 @@ func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64,
 	var mean stats.Running
 	maxQ := 0
 	pending := 0 // requests in this burst still to arrive at `now`
+
+	// waiting holds the start times of requests that have arrived but not
+	// yet begun service. Draining it as the arrival clock advances tracks
+	// the queue depth incrementally — O(log n) amortised per request —
+	// instead of rescanning the whole worker heap on every arrival.
+	waiting := make(minHeap, 0, cfg.Workers)
 
 	for i := 0; i < nRequests; i++ {
 		if pending > 0 {
@@ -129,24 +172,25 @@ func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64,
 				}
 			}
 		}
-		free := heap.Pop(&workers).(float64)
+		free := workers.popMin()
 		start := free
 		if now > start {
 			start = now
 		}
 		s := svc.LogNormal(cfg.MeanServiceMs, cfg.ServiceCV) / perfFactor
 		finish := start + s
-		heap.Push(&workers, finish)
+		workers.push(finish)
 
-		// Queue depth proxy: workers busy beyond `now`.
-		busy := 0
-		for _, f := range workers {
-			if f > now {
-				busy++
-			}
+		// Queue depth: drop requests that started by `now`, then count
+		// this one if it has to wait.
+		for len(waiting) > 0 && waiting[0] <= now {
+			waiting.popMin()
 		}
-		if q := busy - cfg.Workers; q > maxQ {
-			maxQ = q
+		if start > now {
+			waiting.push(start)
+			if len(waiting) > maxQ {
+				maxQ = len(waiting)
+			}
 		}
 		if i >= warm {
 			l := finish - now

@@ -1,6 +1,8 @@
 package queueing
 
 import (
+	"fmt"
+	"math"
 	"testing"
 )
 
@@ -24,8 +26,14 @@ func TestValidate(t *testing.T) {
 	bad := []func(*Config){
 		func(c *Config) { c.Workers = 0 },
 		func(c *Config) { c.MeanServiceMs = 0 },
+		func(c *Config) { c.MeanServiceMs = math.NaN() },
 		func(c *Config) { c.ServiceCV = -1 },
+		func(c *Config) { c.ServiceCV = math.Inf(1) },
+		func(c *Config) { c.BurstProb = -0.1 },
+		func(c *Config) { c.BurstProb = 1.5 },
+		func(c *Config) { c.BurstLen = -1 },
 		func(c *Config) { c.QoSQuantile = 1.2 },
+		func(c *Config) { c.QoSQuantile = math.NaN() },
 		func(c *Config) { c.QoSTargetMs = 0 },
 	}
 	for i, m := range bad {
@@ -128,6 +136,46 @@ func TestPeakLoadBracketsQoS(t *testing.T) {
 	}
 	if over.MeetsQoS {
 		t.Fatal("30% beyond peak still meets QoS — peak search too conservative")
+	}
+}
+
+func TestMaxQueueGrowsWithOverload(t *testing.T) {
+	c := cfg()
+	// Well under capacity almost nothing waits; past saturation (8 workers
+	// × 200/s = 1600/s) the backlog must grow without bound over the run.
+	low, err := Simulate(c, 200, 20000, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Simulate(c, 2400, 20000, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.MaxQueue <= low.MaxQueue {
+		t.Fatalf("overload max queue %d not above light-load %d", over.MaxQueue, low.MaxQueue)
+	}
+	if over.MaxQueue < c.Workers {
+		t.Fatalf("50%% overload over 20k requests backed up only %d requests", over.MaxQueue)
+	}
+}
+
+// BenchmarkSimulate exercises the hot loop at several worker-pool widths;
+// the Workers=64 case is the regression guard for the former
+// O(requests × workers) queue-depth rescan.
+func BenchmarkSimulate(b *testing.B) {
+	for _, workers := range []int{8, 64} {
+		c := Config{
+			Workers: workers, MeanServiceMs: 5, ServiceCV: 1.0,
+			BurstProb: 0.1, BurstLen: 3, QoSQuantile: 0.99, QoSTargetMs: 100,
+		}
+		rate := float64(workers) * 1000 / c.MeanServiceMs * 0.8
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(c, rate, 10000, 1, uint64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -22,7 +22,10 @@
 //     Constant/Ramp/Diurnal/Burst arrival shapes) feeding a sharded
 //     datacenter-scale simulation of thousands of controller-governed SMT
 //     cores (Fleet, FleetConfig) — the §VI-D cluster studies scaled from
-//     one core to a fleet.
+//     one core to a fleet — scheduled by a pluggable policy (Scheduler:
+//     static, elastic proportional, power-of-two-choices) under replayable
+//     scenario events (FleetScenario: server drains and restores, traffic
+//     surges, heterogeneous server generations).
 //
 // Quick start:
 //
@@ -291,8 +294,56 @@ func WebSearchDay() [24]float64 { return loadgen.WebSearchDay() }
 // reusable as Diurnal.HourLoad.
 func VideoDay() [24]float64 { return loadgen.VideoDay() }
 
+// Scheduler tunes the fleet's core-allocation and load-routing policy:
+// the static Fraction split, elastic proportional reallocation (with
+// hysteresis, min-core floors and a migration penalty), or
+// power-of-two-choices routing.
+type Scheduler = fleet.SchedulerConfig
+
+// SchedulerPolicy names a fleet scheduling policy.
+type SchedulerPolicy = fleet.Policy
+
+// Scheduler policies.
+const (
+	// PolicyStatic keeps each client on the cores its Fraction bought.
+	PolicyStatic = fleet.PolicyStatic
+	// PolicyProportional re-divides in-service cores every window in
+	// proportion to each client's current SLO-weighted offered load.
+	PolicyProportional = fleet.PolicyProportional
+	// PolicyP2C allocates like PolicyProportional but routes each
+	// window's load with power-of-two-choices instead of an even split.
+	PolicyP2C = fleet.PolicyP2C
+)
+
+// ParseSchedulerPolicy resolves a policy name (static|proportional|p2c).
+func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetEvent is one scenario incident: a server drain/restore, a traffic
+// surge redirected onto a client, or a server pinned at an older hardware
+// generation's performance.
+type FleetEvent = loadgen.Event
+
+// FleetEventKind discriminates fleet events.
+type FleetEventKind = loadgen.EventKind
+
+// Fleet event kinds.
+const (
+	EventDrain   = loadgen.EventDrain
+	EventRestore = loadgen.EventRestore
+	EventSurge   = loadgen.EventSurge
+	EventPerf    = loadgen.EventPerf
+)
+
+// FleetScenario is an ordered set of fleet events applied to one run.
+type FleetScenario = loadgen.Scenario
+
+// ParseFleetEvents parses a comma-separated event list, e.g.
+// "drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85".
+func ParseFleetEvents(s string) (FleetScenario, error) { return loadgen.ParseEvents(s) }
+
 // FleetConfig parameterises a datacenter-scale run: fleet size, traffic,
-// measured B-mode deltas, request budget, worker pool and seed.
+// measured B-mode deltas, request budget, worker pool, seed, scheduler
+// policy and scenario events.
 type FleetConfig = fleet.Config
 
 // FleetResult aggregates a fleet run: per-client tails and violations,

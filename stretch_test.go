@@ -179,3 +179,51 @@ func TestFleetFacade(t *testing.T) {
 		t.Fatal("SLO re-exports broken")
 	}
 }
+
+func TestSchedulerFacade(t *testing.T) {
+	pol, err := ParseSchedulerPolicy("proportional")
+	if err != nil || pol != PolicyProportional {
+		t.Fatalf("ParseSchedulerPolicy: %v %v", pol, err)
+	}
+	scenario, err := ParseFleetEvents("drain:2:0,restore:6:0,surge:3-6:search:1.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenario.Events) != 3 || scenario.Events[0].Kind != EventDrain {
+		t.Fatalf("scenario: %+v", scenario)
+	}
+	res, err := Fleet(FleetConfig{
+		Servers: 2, CoresPerServer: 4,
+		Traffic: Traffic{
+			Windows: 8, WindowSec: 450,
+			Clients: []TrafficClient{
+				{Name: "search", Service: WebSearch, Fraction: 0.5, SLO: SLOStrict,
+					Spec: ArrivalSpec{Shape: Constant{Rate: 4 * 250}, Poisson: true}},
+				{Name: "kv", Service: DataServing, Fraction: 0.5,
+					Spec: ArrivalSpec{Shape: Ramp{StartRPS: 400, TargetRPS: 4000}, Poisson: true}},
+			},
+		},
+		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
+		WindowRequests: 150, Seed: 1,
+		Scheduler: Scheduler{Policy: pol},
+		Scenario:  scenario,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != PolicyProportional {
+		t.Fatalf("policy echo: %v", res.Policy)
+	}
+	if res.DrainedCoreWindows != 4*4 {
+		t.Fatalf("drained core-windows %d, want 16", res.DrainedCoreWindows)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("elastic run under drain recorded no migrations")
+	}
+	if _, err := ParseSchedulerPolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := ParseFleetEvents("warp:1:2"); err == nil {
+		t.Fatal("unknown event kind accepted")
+	}
+}
