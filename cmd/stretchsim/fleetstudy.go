@@ -24,6 +24,7 @@ type fleetParams struct {
 	workers        int
 	bSpeedup       float64
 	lsSlowdown     float64
+	windowTrace    bool
 }
 
 // fleetTraces lists the named traffic specs.
@@ -228,6 +229,30 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 	if res.Migrations+res.DrainedCoreWindows+res.IdleCoreWindows > 0 {
 		fmt.Fprintf(&b, "schedule: %d migration, %d drained, %d idle core-windows\n",
 			res.Migrations, res.DrainedCoreWindows, res.IdleCoreWindows)
+	}
+	return b.String()
+}
+
+// formatWindowTrace renders the per-window fleet series collected at each
+// window barrier: the fleet-wide core partition and, per client, the cores
+// held, the p99 over its core tails and its violating core-windows — the
+// same observation records the closed-loop scheduler consumed online.
+func formatWindowTrace(res fleet.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nwindow trace (%d windows):\n", len(res.WindowTrace))
+	fmt.Fprintf(&b, "%-4s %5s %5s %5s %5s %5s %5s", "win", "serve", "drain", "idle", "B", "viol", "migr")
+	for _, cm := range res.Clients {
+		fmt.Fprintf(&b, " | %-20s", cm.Client+" c/p99/viol")
+	}
+	b.WriteString("\n")
+	for _, o := range res.WindowTrace {
+		fmt.Fprintf(&b, "%-4d %5d %5d %5d %5d %5d %5d",
+			o.Window, o.ServingCores, o.DrainedCores, o.IdleCores,
+			o.BCores, o.Violations, o.Migrations)
+		for _, co := range o.Clients {
+			fmt.Fprintf(&b, " | %4d %10.1f %4d", co.Cores, co.TailP99Ms, co.Violations)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -8,9 +8,9 @@
 //	stretchsim -experiment fig9 [-scale full]
 //	stretchsim -experiment all [-scale quick]
 //	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed]
-//	           [-policy static|proportional|p2c] [-events "drain:24:0,..."]
+//	           [-policy static|proportional|p2c|feedback] [-events "drain:24:0,..."]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
-//	           [-seed 1] [-fleet-workers 0]
+//	           [-seed 1] [-fleet-workers 0] [-window-trace]
 package main
 
 import (
@@ -33,7 +33,7 @@ func main() {
 		servers    = flag.Int("servers", 64, "fleet: number of servers")
 		cores      = flag.Int("cores", 16, "fleet: SMT cores per server")
 		traceName  = flag.String("trace", "mixed", "fleet: traffic spec (websearch|video|mixed|failover)")
-		policy     = flag.String("policy", "static", "fleet: scheduler policy (static|proportional|p2c)")
+		policy     = flag.String("policy", "static", "fleet: scheduler policy (static|proportional|p2c|feedback)")
 		events     = flag.String("events", "", "fleet: scenario events, e.g. \"drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85\" (failover trace has a built-in default)")
 		hours      = flag.Float64("hours", 24, "fleet: horizon in hours")
 		wph        = flag.Int("windows-per-hour", 4, "fleet: monitoring windows per hour")
@@ -42,6 +42,7 @@ func main() {
 		fleetWork  = flag.Int("fleet-workers", 0, "fleet: goroutine pool size (0 = GOMAXPROCS)")
 		bSpeedup   = flag.Float64("b-speedup", 0.13, "fleet: measured B-mode batch speedup")
 		lsSlowdown = flag.Float64("ls-slowdown", 0.07, "fleet: measured B-mode LS slowdown")
+		winTrace   = flag.Bool("window-trace", false, "fleet: print the per-window fleet series (cores, tails, violations per client)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 			hours: *hours, wph: *wph, windowReq: *windowReq,
 			seed: *seed, workers: *fleetWork,
 			bSpeedup: *bSpeedup, lsSlowdown: *lsSlowdown,
+			windowTrace: *winTrace,
 		})
 		return
 	}
@@ -116,6 +118,9 @@ func runFleet(p fleetParams) {
 	elapsed := time.Since(start)
 
 	fmt.Print(formatFleetResult(p, cfg, res))
+	if p.windowTrace {
+		fmt.Print(formatWindowTrace(res))
+	}
 	simReq := float64(res.Cores)*float64(res.Windows) - float64(res.DrainedCoreWindows+res.IdleCoreWindows)
 	simReq *= float64(p.windowReq)
 	fmt.Printf("(%.1fs wall, ~%.1fM simulated requests, %.1fM req/s)\n",

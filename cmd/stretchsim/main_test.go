@@ -26,19 +26,29 @@ func goldenParams(trace, policy string) fleetParams {
 // TestFleetGolden locks the seed-1 stretchsim -fleet output for every
 // trace (and each scheduler policy on the mixed trace) against committed
 // golden files, so refactors cannot silently shift the paper-facing
-// numbers. Run with -update to rebless after an intentional change.
+// numbers. Run with -update to rebless after an intentional change. The
+// feedback failover case runs the full 24h day: the closed loop only has
+// violations to react to once the diurnal peak is in the horizon.
 func TestFleetGolden(t *testing.T) {
-	cases := []struct{ trace, policy string }{
-		{"websearch", "static"},
-		{"video", "static"},
-		{"mixed", "static"},
-		{"mixed", "proportional"},
-		{"mixed", "p2c"},
-		{"failover", "proportional"},
+	cases := []struct {
+		trace, policy string
+		hours         float64
+	}{
+		{"websearch", "static", 0},
+		{"video", "static", 0},
+		{"mixed", "static", 0},
+		{"mixed", "proportional", 0},
+		{"mixed", "p2c", 0},
+		{"failover", "proportional", 0},
+		{"mixed", "feedback", 0},
+		{"failover", "feedback", 24},
 	}
 	for _, tc := range cases {
 		t.Run(tc.trace+"_"+tc.policy, func(t *testing.T) {
 			p := goldenParams(tc.trace, tc.policy)
+			if tc.hours != 0 {
+				p.hours = tc.hours
+			}
 			cfg, err := buildFleetConfig(p)
 			if err != nil {
 				t.Fatal(err)
@@ -97,6 +107,71 @@ func TestFleetGoldenRerouting(t *testing.T) {
 	}
 	if want := res.Cores*windows - res.DrainedCoreWindows - res.IdleCoreWindows; total != want {
 		t.Fatalf("serving core-windows %d, want %d", total, want)
+	}
+}
+
+// TestFeedbackBeatsProportionalOnFailover is the closed-loop acceptance
+// check: over the full failover day (a quarter of the servers out while
+// search absorbs a redirected surge), reacting to measured violations must
+// beat reacting to offered load alone — fewer QoS-violation core-windows
+// at equal-or-better batch core-hours gained. The absolute numbers are
+// locked by testdata/failover_feedback.golden; this test locks the
+// relation.
+func TestFeedbackBeatsProportionalOnFailover(t *testing.T) {
+	run := func(policy string) fleet.Result {
+		t.Helper()
+		p := goldenParams("failover", policy)
+		p.hours = 24
+		cfg, err := buildFleetConfig(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fleet.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	prop := run("proportional")
+	fb := run("feedback")
+	if prop.ViolationWindows == 0 {
+		t.Fatal("failover day has no violations under proportional; the comparison is vacuous")
+	}
+	if fb.ViolationWindows >= prop.ViolationWindows {
+		t.Errorf("feedback violated %d core-windows, want fewer than proportional's %d",
+			fb.ViolationWindows, prop.ViolationWindows)
+	}
+	if fb.BatchCoreHoursGained < prop.BatchCoreHoursGained {
+		t.Errorf("feedback gained %.1f batch core-hours < proportional's %.1f",
+			fb.BatchCoreHoursGained, prop.BatchCoreHoursGained)
+	}
+}
+
+// TestWindowTraceOutput sanity-checks the -window-trace rendering: one row
+// per window plus the two header lines.
+func TestWindowTraceOutput(t *testing.T) {
+	p := goldenParams("mixed", "proportional")
+	cfg, err := buildFleetConfig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := int(p.hours * float64(p.wph))
+	if len(res.WindowTrace) != windows {
+		t.Fatalf("window trace has %d entries, want %d", len(res.WindowTrace), windows)
+	}
+	out := formatWindowTrace(res)
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if want := windows + 3; lines != want {
+		t.Fatalf("window trace rendered %d lines, want %d:\n%s", lines, want, out)
 	}
 }
 

@@ -3,10 +3,13 @@
 // cores its fraction bought; proportional re-divides the fleet window by
 // window as diurnal load shifts (harvesting more B-mode core-hours at
 // fewer QoS violations); p2c additionally routes each window's load by
-// power-of-two-choices instead of an even split. The failover pass drains
-// a quarter of the servers mid-day while redirected traffic surges onto
-// the search client, showing the drained load rerouting across the
-// survivors.
+// power-of-two-choices instead of an even split; feedback closes the loop
+// — it reallocates on each window's *measured* tails, stealing cores from
+// slack-rich clients for violating ones. The failover pass drains a
+// quarter of the servers mid-day while redirected traffic surges onto the
+// search client, showing the drained load rerouting across the survivors
+// and the closed loop absorbing the violations the open-loop policies
+// cannot see coming.
 package main
 
 import (
@@ -82,6 +85,7 @@ func main() {
 
 	policies := []stretch.SchedulerPolicy{
 		stretch.PolicyStatic, stretch.PolicyProportional, stretch.PolicyP2C,
+		stretch.PolicyFeedback,
 	}
 	for _, scenario := range []struct {
 		name   string

@@ -1,0 +1,84 @@
+// PolicyFeedback: the closed-loop allocator. The paper's core argument
+// (§IV-C) is that Stretch wins by reacting to *measured* tail-latency
+// slack; the open-loop policies can only react to offered load. Feedback
+// keeps a per-client pressure weight that integrates the previous window's
+// measurements — violating core-windows grow a client's weight (stealing
+// cores from the rest of the fleet), while clients whose monitors report
+// tails far below target decay toward a floor and release cores. The
+// weighted demand then flows through the same allocCounts/hysteresis/
+// rebalance machinery as PolicyProportional, so min-core floors and the
+// migration penalty apply unchanged.
+package fleet
+
+// Feedback tuning. The constants trade reaction speed against migration
+// churn; they are deliberately conservative so the weight integrates over
+// a few windows rather than slamming the fleet on one bad reading.
+const (
+	// feedbackGain scales how fast a violating client's weight grows:
+	// weight ×= 1 + gain × (violating fraction of its cores).
+	feedbackGain = 1.5
+	// feedbackSlackRich is the mean measured headroom (fraction of the
+	// tail target, from the per-core monitors) beyond which a client is
+	// considered slack-rich and starts releasing cores.
+	feedbackSlackRich = 0.4
+	// feedbackDecay shrinks a slack-rich client's weight each window.
+	feedbackDecay = 0.92
+	// feedbackRelax drifts a neutral (neither violating nor slack-rich)
+	// or unobserved client's weight back toward 1 each window.
+	feedbackRelax = 0.25
+	// feedbackMinWeight / feedbackMaxWeight clamp the weights so one
+	// client can neither monopolise the fleet nor be starved forever.
+	feedbackMinWeight = 0.4
+	feedbackMaxWeight = 4.0
+)
+
+// feedbackAlloc holds the per-client pressure weights across windows.
+type feedbackAlloc struct {
+	weight []float64
+}
+
+// desired updates the pressure weights from the previous window's
+// observation, then allocates cores proportionally to weighted demand.
+// A measured violation also forces the rebalance through the hysteresis
+// threshold: hysteresis damps churn from *demand drift*, but a violation
+// is direct evidence the current assignment is inadequate — exactly the
+// signal the threshold is a proxy for.
+func (f *feedbackAlloc) desired(e *elastic, _ int, obs *WindowObservation) []int {
+	if f.weight == nil {
+		f.weight = make([]float64, e.n)
+		for ci := range f.weight {
+			f.weight[ci] = 1
+		}
+	}
+	if obs != nil && obs.Violations > 0 {
+		e.force = true
+	}
+	if obs != nil {
+		for ci := range f.weight {
+			o := obs.Clients[ci]
+			switch {
+			case o.Cores == 0:
+				// No measurement this window: relax toward neutral so a
+				// client squeezed to zero cores recovers its
+				// proportional share instead of starving forever.
+				f.weight[ci] += (1 - f.weight[ci]) * feedbackRelax
+			case o.Violations > 0:
+				f.weight[ci] *= 1 + feedbackGain*float64(o.Violations)/float64(o.Cores)
+			case o.MeanSlack > feedbackSlackRich:
+				f.weight[ci] *= feedbackDecay
+			default:
+				f.weight[ci] += (1 - f.weight[ci]) * feedbackRelax
+			}
+			if f.weight[ci] < feedbackMinWeight {
+				f.weight[ci] = feedbackMinWeight
+			}
+			if f.weight[ci] > feedbackMaxWeight {
+				f.weight[ci] = feedbackMaxWeight
+			}
+		}
+	}
+	for ci := range e.demand {
+		e.demand[ci] = e.load[ci] / e.sat[ci] * f.weight[ci]
+	}
+	return allocCounts(e.demand, e.fracs, e.nActive, e.sched.MinCores)
+}

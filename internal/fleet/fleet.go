@@ -1,25 +1,38 @@
 // Package fleet simulates a datacenter-scale Stretch deployment: N servers
 // × SMT cores, each core running a queueing-backed latency-sensitive
 // service colocated with a batch thread and governed by its own §IV-C
-// monitor.Controller. An open-loop multi-client traffic spec
-// (internal/loadgen) drives the per-window arrival rates; execution is
-// sharded across a goroutine worker pool, with every core drawing from its
-// own rng stream derived from the experiment seed, so aggregate results are
-// bit-identical for identical seeds regardless of worker count.
+// monitor.Controller. A multi-client traffic spec (internal/loadgen)
+// drives the per-window arrival rates.
+//
+// Execution is window-major and closed-loop: the engine advances the whole
+// fleet one monitoring window at a time. Within a window, cores shard
+// across a goroutine worker pool — every core draws from its own
+// (seed, core, window)-derived rng stream, so aggregate results are
+// bit-identical for identical seeds regardless of worker count — and a
+// barrier then collects the window's measured tails, modes, violations and
+// controller slack into a WindowObservation. That observation is handed to
+// the scheduler's Step for the *next* window, which is what lets
+// latency-aware policies (PolicyFeedback) react to measured violations the
+// way §IV-C's controller reacts to measured slack; the open-loop policies
+// ignore it and reproduce their precomputed schedules exactly. Per-core
+// controller state survives across windows (a core keeps its monitor until
+// the scheduler hands it to a different client), and each worker reuses
+// one queueing.Simulator so the hot loop pays no per-window allocations.
 //
 // Per window, each core simulates its share of its client's arrival rate
 // through the request-level queueing model at the perf factor its current
 // mode implies, feeds the measured tail to its controller, and credits the
 // colocated batch thread relative to equal partitioning (B-mode gains,
 // Q-mode pays). Results aggregate into fleet-wide tails (p99/p99.9 over
-// core-window tails), QoS-violation window counts, engaged-core-hours, and
-// batch core-hours gained versus an equal-partitioning deployment.
+// core-window tails), QoS-violation window counts, engaged-core-hours,
+// batch core-hours gained versus an equal-partitioning deployment, and the
+// per-window fleet series in Result.WindowTrace.
 //
 // Which client a core serves each window — and at what rate — is decided
 // by the scheduler (see scheduler.go): the static Fraction split, elastic
-// proportional reallocation, or power-of-two-choices routing, optionally
-// under a loadgen.Scenario of server drains, traffic surges and
-// heterogeneous server generations.
+// proportional reallocation, power-of-two-choices routing, or closed-loop
+// feedback reallocation (feedback.go), optionally under a loadgen.Scenario
+// of server drains, traffic surges and heterogeneous server generations.
 package fleet
 
 import (
@@ -28,6 +41,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stretch/internal/core"
 	"stretch/internal/loadgen"
@@ -128,6 +142,8 @@ type ClientMetrics struct {
 	// TargetMs is the SLO-scaled tail target its controllers enforce.
 	TargetMs float64
 	// P99Ms and P999Ms are quantiles over all core-window tail readings.
+	// A client whose elastic allocation reached zero core-windows has no
+	// readings and reports zeros (never NaN).
 	P99Ms, P999Ms float64
 	// ViolationWindows counts core-windows whose tail exceeded the target.
 	ViolationWindows int
@@ -136,6 +152,44 @@ type ClientMetrics struct {
 	// EngagedCoreHours is the B-mode time integrated over the client's
 	// cores.
 	EngagedCoreHours float64
+}
+
+// ClientWindowObs aggregates one client's serving cores within a single
+// completed window.
+type ClientWindowObs struct {
+	// Cores is how many cores served the client this window.
+	Cores int
+	// OfferedRPS is the total arrival rate routed to the client.
+	OfferedRPS float64
+	// MeanTailMs, MaxTailMs and TailP99Ms summarise the client's per-core
+	// window tails.
+	MeanTailMs, MaxTailMs, TailP99Ms float64
+	// MeanSlack is the mean headroom below the tail target reported by the
+	// client's per-core monitors, as a fraction of the target (negative
+	// means violating).
+	MeanSlack float64
+	// Violations counts the client's violating core-windows this window.
+	Violations int
+	// BCores counts the client's cores that ran the window in B-mode.
+	BCores int
+}
+
+// WindowObservation is the measured record of one completed window: the
+// feedback the engine hands the scheduler's Step at the next window, and
+// the per-window entry of Result.WindowTrace.
+type WindowObservation struct {
+	// Window is the window index.
+	Window int
+	// Clients holds per-client window aggregates in traffic order.
+	Clients []ClientWindowObs
+	// ServingCores, DrainedCores and IdleCores partition the fleet.
+	ServingCores, DrainedCores, IdleCores int
+	// Violations counts the window's violating core-windows fleet-wide.
+	Violations int
+	// BCores counts cores that ran the window in B-mode.
+	BCores int
+	// Migrations counts cores that paid the migration penalty.
+	Migrations int
 }
 
 // Result is the fleet-wide aggregation.
@@ -174,25 +228,48 @@ type Result struct {
 	// unassigned core-windows in the schedule.
 	DrainedCoreWindows int
 	IdleCoreWindows    int
+
+	// WindowTrace is the per-window fleet series: one measured observation
+	// per window, in order — the same records the closed-loop scheduler
+	// consumed online.
+	WindowTrace []WindowObservation
 }
 
-// coreJob is the per-core work description handed to the pool: the core's
-// full-horizon schedule slice of the plan.
-type coreJob struct {
-	perf     float64   // server performance-generation factor
-	client   []int16   // per-window client index (coreIdle / coreDrained)
-	rate     []float64 // per-window arrival rate
-	migrated []bool    // per-window migration-penalty flag
+// coreState is one core's persistent execution state: its controller (and
+// the client it was built for) survives across windows instead of being
+// rebuilt per core-walk; it resets only when the scheduler hands the core
+// to a different client — a handed-over core is a cold start.
+type coreState struct {
+	ctl      *monitor.Controller
+	prev     int16 // client the controller was built for (-3: none yet)
+	switches uint64
 }
 
-// coreResult is one core's contribution, aggregated deterministically in
-// core order after the pool drains. tails is NaN on non-serving windows.
-type coreResult struct {
+// engine is one run's window-major execution state. Per-core-per-window
+// records are kept flat (core-major: index core×windows+window) so the
+// final aggregation can replay the exact accumulation order of the former
+// core-major engine, keeping aggregate floats bit-identical.
+type engine struct {
+	nCores, windows, windowReq int
+	bGain, lsSlow, qCost       float64
+	migPenalty                 float64
+	monCfg                     func(float64) monitor.Config
+
+	targets []float64
+	qcfgs   []queueing.Config
+	perf    []float64
+	streams []*rng.Stream
+	states  []coreState
+
 	tails    []float64
 	batchRel []float64
 	modeB    []bool
-	switches uint64
-	err      error
+	client   []int16
+	errs     []error
+
+	// winSamples holds one reusable per-client sample for the window
+	// observation's tail quantile, filled and drained at each barrier.
+	winSamples []*stats.Sample
 }
 
 // Run simulates the fleet over the traffic horizon.
@@ -222,8 +299,9 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	// Per-client service configs and SLO-scaled targets.
-	targets := make([]float64, len(cfg.Traffic.Clients))
-	qcfgs := make([]queueing.Config, len(cfg.Traffic.Clients))
+	n := len(cfg.Traffic.Clients)
+	targets := make([]float64, n)
+	qcfgs := make([]queueing.Config, n)
 	for ci, cl := range cfg.Traffic.Clients {
 		svc := workload.Services()[cl.Service]
 		targets[ci] = svc.QoSTargetMs * cl.SLO.Scale()
@@ -234,89 +312,161 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	// The scheduler pre-pass fixes every core's client and rate for every
-	// window before any goroutine starts, so scheduling decisions never
-	// consume simulation randomness.
-	pl := buildPlan(cfg, sched, timelines)
-	jobs := make([]coreJob, nCores)
-	for c := 0; c < nCores; c++ {
-		jobs[c] = coreJob{perf: pl.perf[c], client: pl.client[c], rate: pl.rate[c], migrated: pl.migrated[c]}
+	st := newStepper(sched)
+	if err := st.Plan(PlanInput{
+		Servers: cfg.Servers, CoresPerServer: cfg.CoresPerServer,
+		Traffic: cfg.Traffic, Timelines: timelines,
+		Scenario: cfg.Scenario, Seed: cfg.Seed,
+	}); err != nil {
+		return Result{}, err
 	}
 
-	// Shard the cores over a worker pool. Each core derives its own rng
-	// stream from the experiment seed and its global index, so the
-	// schedule — and therefore the worker count — cannot perturb results.
+	// Each core derives its own rng stream from the experiment seed and
+	// its global index — and each window's simulation seed from that — so
+	// neither the schedule nor the worker count can perturb results.
 	root := rng.New(cfg.Seed).Derive(0xF1EE7)
-	results := make([]coreResult, len(jobs))
+	perfGen := cfg.Scenario.PerfFactors(cfg.Servers)
+	e := &engine{
+		nCores: nCores, windows: windows, windowReq: windowReq,
+		bGain: cfg.BatchSpeedupB, lsSlow: cfg.LSSlowdownB, qCost: qCost,
+		migPenalty: sched.MigrationPenalty, monCfg: monCfg,
+		targets:  targets,
+		qcfgs:    qcfgs,
+		perf:     make([]float64, nCores),
+		streams:  make([]*rng.Stream, nCores),
+		states:   make([]coreState, nCores),
+		tails:    make([]float64, nCores*windows),
+		batchRel: make([]float64, nCores*windows),
+		modeB:    make([]bool, nCores*windows),
+		client:   make([]int16, nCores*windows),
+		errs:     make([]error, nCores),
+
+		winSamples: make([]*stats.Sample, n),
+	}
+	for ci := range e.winSamples {
+		e.winSamples[ci] = stats.NewSample(nCores)
+	}
+	for c := 0; c < nCores; c++ {
+		e.perf[c] = perfGen[c/cfg.CoresPerServer]
+		e.streams[c] = root.Derive(uint64(c))
+		e.states[c] = coreState{prev: -3} // matches no client and no sentinel
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > nCores {
+		workers = nCores
 	}
-	next := make(chan int, len(jobs))
-	for i := range jobs {
-		next <- i
+	// One reusable Simulator per worker: the queueing heaps and sample
+	// buffers live across the whole horizon.
+	sims := make([]*queueing.Simulator, workers)
+	for i := range sims {
+		sims[i] = new(queueing.Simulator)
 	}
-	close(next)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = runCore(jobs[i], qcfgs, targets, monCfg, windowReq,
-					cfg.BatchSpeedupB, cfg.LSSlowdownB, qCost, sched.MigrationPenalty,
-					root.Derive(uint64(i)))
-			}
-		}()
-	}
-	wg.Wait()
 
-	// Deterministic aggregation in core order.
+	var (
+		obs      *WindowObservation
+		winTrace = make([]WindowObservation, 0, windows)
+	)
+
+	for w := 0; w < windows; w++ {
+		asg := st.Step(w, obs)
+
+		// Simulate the window: shard cores across the worker pool, then
+		// barrier before observing.
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(sim *queueing.Simulator) {
+				defer wg.Done()
+				for {
+					c := int(atomic.AddInt64(&next, 1))
+					if c >= nCores {
+						return
+					}
+					e.stepCore(c, w, asg, sim)
+				}
+			}(sims[wk])
+		}
+		wg.Wait()
+		for c := 0; c < nCores; c++ {
+			if e.errs[c] != nil {
+				return Result{}, e.errs[c]
+			}
+		}
+
+		o := e.observe(w, asg)
+		winTrace = append(winTrace, o)
+		obs = &winTrace[len(winTrace)-1]
+	}
+
+	// Schedule bookkeeping falls out of the per-window observations.
+	migrations, drainedCoreWindows, idleCoreWindows := 0, 0, 0
+	for _, o := range winTrace {
+		migrations += o.Migrations
+		drainedCoreWindows += o.DrainedCores
+		idleCoreWindows += o.IdleCores
+	}
+	initialCores := make([]int, n)
+	if len(winTrace) > 0 {
+		for ci := range initialCores {
+			initialCores[ci] = winTrace[0].Clients[ci].Cores
+		}
+	}
+
+	// Deterministic aggregation in core order — the exact accumulation
+	// order of the former core-major engine, so aggregate floats (and the
+	// golden files derived from them) are bit-identical.
 	res := Result{
 		Cores: nCores, Windows: windows, WindowSec: cfg.Traffic.WindowSec,
 		Policy:             sched.Policy,
 		TotalCoreHours:     float64(nCores) * cfg.Traffic.Hours(),
-		Migrations:         pl.migrations,
-		DrainedCoreWindows: pl.drainedCoreWindows,
-		IdleCoreWindows:    pl.idleCoreWindows,
+		Migrations:         migrations,
+		DrainedCoreWindows: drainedCoreWindows,
+		IdleCoreWindows:    idleCoreWindows,
+		WindowTrace:        winTrace,
 	}
 	windowHours := cfg.Traffic.WindowSec / 3600
-	perClient := make([]*stats.Sample, len(cfg.Traffic.Clients))
-	cms := make([]ClientMetrics, len(cfg.Traffic.Clients))
+	perClient := make([]*stats.Sample, n)
+	cms := make([]ClientMetrics, n)
 	for ci, cl := range cfg.Traffic.Clients {
-		perClient[ci] = stats.NewSample(pl.initialCores[ci] * windows)
+		perClient[ci] = stats.NewSample(initialCores[ci] * windows)
 		cms[ci] = ClientMetrics{
 			Client: cl.Name, Service: cl.Service, SLO: cl.SLO,
-			Cores: pl.initialCores[ci], TargetMs: targets[ci],
+			Cores: initialCores[ci], TargetMs: targets[ci],
 		}
 	}
-	for i, r := range results {
-		if r.err != nil {
-			return Result{}, r.err
-		}
+	for c := 0; c < nCores; c++ {
 		for w := 0; w < windows; w++ {
-			ci := jobs[i].client[w]
+			idx := c*windows + w
+			ci := e.client[idx]
 			if ci < 0 {
 				continue
 			}
 			cm := &cms[ci]
-			t := r.tails[w]
+			t := e.tails[idx]
 			perClient[ci].Add(t)
 			cm.CoreWindows++
 			if t > targets[ci] {
 				cm.ViolationWindows++
 			}
-			if r.modeB[w] {
+			if e.modeB[idx] {
 				cm.EngagedCoreHours += windowHours
 			}
-			res.BatchCoreHoursGained += (r.batchRel[w] - 1) * windowHours
+			res.BatchCoreHoursGained += (e.batchRel[idx] - 1) * windowHours
 		}
-		res.Switches += r.switches
+		sw := e.states[c].switches
+		if ctl := e.states[c].ctl; ctl != nil {
+			sw += ctl.Switches()
+		}
+		res.Switches += sw
 	}
 	for ci := range cms {
+		// A client squeezed to zero core-windows has an empty sample;
+		// Quantile reports 0 for it, never NaN.
 		cms[ci].P99Ms = perClient[ci].Quantile(0.99)
 		cms[ci].P999Ms = perClient[ci].Quantile(0.999)
 		res.ViolationWindows += cms[ci].ViolationWindows
@@ -327,87 +477,128 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// runCore walks one SMT core through its schedule: simulate each serving
-// window's arrivals at the engaged mode's perf factor (scaled by the
-// server's generation and any migration penalty), feed the tail to the
-// controller, credit the batch thread. The controller resets whenever the
-// core starts serving a different client — a handed-over core is a cold
-// start.
-func runCore(job coreJob, qcfgs []queueing.Config, targets []float64,
-	monCfg func(float64) monitor.Config, windowReq int,
-	bGain, lsSlow, qCost, migPenalty float64, stream *rng.Stream) coreResult {
-
-	windows := len(job.client)
-	r := coreResult{
-		tails:    make([]float64, windows),
-		batchRel: make([]float64, windows),
-		modeB:    make([]bool, windows),
+// stepCore advances one SMT core through one window: simulate the window's
+// arrivals at the engaged mode's perf factor (scaled by the server's
+// generation and any migration penalty), feed the measured tail to the
+// core's persistent controller, credit the batch thread.
+func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator) {
+	idx := c*e.windows + w
+	ci := asg.Client[c]
+	e.client[idx] = ci
+	st := &e.states[c]
+	if ci < 0 {
+		e.tails[idx] = math.NaN()
+		if ci == coreIdle {
+			// An in-service core with no LS client runs batch exactly
+			// as the equal-partitioning baseline would: no gain.
+			e.batchRel[idx] = 1
+		}
+		st.prev = ci
+		return
 	}
-	var ctl *monitor.Controller
-	prev := int16(-3) // matches no client and no sentinel
-	for w := 0; w < windows; w++ {
-		ci := job.client[w]
-		if ci < 0 {
-			r.tails[w] = math.NaN()
-			if ci == coreIdle {
-				// An in-service core with no LS client runs batch exactly
-				// as the equal-partitioning baseline would: no gain.
-				r.batchRel[w] = 1
+	if ci != st.prev {
+		if st.ctl != nil {
+			st.switches += st.ctl.Switches()
+		}
+		ctl, err := monitor.New(e.monCfg(e.targets[ci]))
+		if err != nil {
+			e.errs[c] = err
+			return
+		}
+		st.ctl = ctl
+		st.prev = ci
+	}
+	mode := st.ctl.Mode()
+	perf := e.perf[c]
+	if mode == core.ModeB {
+		perf *= 1 - e.lsSlow
+	}
+	if asg.Migrated[c] {
+		perf *= 1 - e.migPenalty
+	}
+	var tail float64
+	if rate := asg.Rate[c]; rate > 0 {
+		seed := e.streams[c].Derive(uint64(w)).Uint64()
+		if err := sim.Reset(e.qcfgs[ci]); err != nil {
+			e.errs[c] = err
+			return
+		}
+		qr, err := sim.Simulate(rate, e.windowReq, perf, seed)
+		if err != nil {
+			e.errs[c] = err
+			return
+		}
+		tail = qr.QoSMs
+	}
+	// An idle window (a Poisson draw of zero arrivals) reads as zero
+	// tail: maximal slack.
+	e.tails[idx] = tail
+	switch mode {
+	case core.ModeB:
+		e.modeB[idx] = true
+		if asg.Migrated[c] && e.migPenalty > 0 {
+			// Warming the new client's working set eats the bonus.
+			e.batchRel[idx] = 1
+		} else {
+			e.batchRel[idx] = 1 + e.bGain
+		}
+	case core.ModeQ:
+		e.batchRel[idx] = 1 - e.qCost
+	default:
+		e.batchRel[idx] = 1
+	}
+	st.ctl.Observe(monitor.Observation{TailMs: tail})
+}
+
+// observe collects the window's measurements behind the barrier, in core
+// order, into the observation record the scheduler sees next window. One
+// pass over the fleet fills the per-client aggregates and tail samples.
+func (e *engine) observe(w int, asg Assignment) WindowObservation {
+	o := WindowObservation{Window: w, Clients: make([]ClientWindowObs, len(e.targets))}
+	for c := 0; c < e.nCores; c++ {
+		cl := asg.Client[c]
+		switch {
+		case cl == coreDrained:
+			o.DrainedCores++
+		case cl == coreIdle:
+			o.IdleCores++
+		default:
+			co := &o.Clients[cl]
+			idx := c*e.windows + w
+			t := e.tails[idx]
+			co.Cores++
+			o.ServingCores++
+			co.OfferedRPS += asg.Rate[c]
+			co.MeanTailMs += t
+			if t > co.MaxTailMs {
+				co.MaxTailMs = t
 			}
-			prev = ci
+			if t > e.targets[cl] {
+				co.Violations++
+				o.Violations++
+			}
+			if e.modeB[idx] {
+				co.BCores++
+				o.BCores++
+			}
+			co.MeanSlack += e.states[c].ctl.Slack()
+			if asg.Migrated[c] {
+				o.Migrations++
+			}
+			e.winSamples[cl].Add(t)
+		}
+	}
+	for ci := range o.Clients {
+		co := &o.Clients[ci]
+		if co.Cores == 0 {
 			continue
 		}
-		if ci != prev {
-			if ctl != nil {
-				r.switches += ctl.Switches()
-			}
-			var err error
-			ctl, err = monitor.New(monCfg(targets[ci]))
-			if err != nil {
-				return coreResult{err: err}
-			}
-			prev = ci
-		}
-		mode := ctl.Mode()
-		perf := job.perf
-		if mode == core.ModeB {
-			perf *= 1 - lsSlow
-		}
-		if job.migrated[w] {
-			perf *= 1 - migPenalty
-		}
-		var tail float64
-		if rate := job.rate[w]; rate > 0 {
-			seed := stream.Derive(uint64(w)).Uint64()
-			qr, err := queueing.Simulate(qcfgs[ci], rate, windowReq, perf, seed)
-			if err != nil {
-				return coreResult{err: err}
-			}
-			tail = qr.QoSMs
-		}
-		// An idle window (a Poisson draw of zero arrivals) reads as zero
-		// tail: maximal slack.
-		r.tails[w] = tail
-		switch mode {
-		case core.ModeB:
-			r.modeB[w] = true
-			if job.migrated[w] {
-				// Warming the new client's working set eats the bonus.
-				r.batchRel[w] = 1
-			} else {
-				r.batchRel[w] = 1 + bGain
-			}
-		case core.ModeQ:
-			r.batchRel[w] = 1 - qCost
-		default:
-			r.batchRel[w] = 1
-		}
-		ctl.Observe(monitor.Observation{TailMs: tail})
+		co.MeanTailMs /= float64(co.Cores)
+		co.MeanSlack /= float64(co.Cores)
+		co.TailP99Ms = e.winSamples[ci].Quantile(0.99)
+		e.winSamples[ci].Reset()
 	}
-	if ctl != nil {
-		r.switches += ctl.Switches()
-	}
-	return r
+	return o
 }
 
 // assignCores splits nCores across the clients proportionally to their

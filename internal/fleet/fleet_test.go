@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -153,6 +154,97 @@ func TestFleetMultiClientAggregation(t *testing.T) {
 	}
 	if total != res.ViolationWindows {
 		t.Fatal("violation windows do not sum")
+	}
+}
+
+// TestClientWithZeroCoreWindows pins the edge case of a client squeezed to
+// zero core-windows: with the min-core floor explicitly disabled and no
+// offered load, the elastic allocation gives it nothing, and its metrics
+// must report NaN-safe zeros rather than panicking on an empty sample.
+func TestClientWithZeroCoreWindows(t *testing.T) {
+	cfg := lowLoadConfig()
+	cfg.Traffic.Clients = []loadgen.Client{
+		{
+			Name: "busy", Service: workload.WebSearch, Fraction: 0.5,
+			Spec: loadgen.Spec{Shape: loadgen.Constant{Rate: 280 * 8}, Poisson: true},
+		},
+		{
+			Name: "ghost", Service: workload.DataServing, Fraction: 0.5,
+			Spec: loadgen.Spec{Shape: loadgen.Constant{Rate: 1e-12}},
+		},
+	}
+	cfg.Scheduler = SchedulerConfig{Policy: PolicyProportional, NoMinCores: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := res.Clients[1]
+	if ghost.CoreWindows != 0 {
+		t.Fatalf("with the floor disabled and ~zero demand the ghost still held %d core-windows", ghost.CoreWindows)
+	}
+	if ghost.P99Ms != 0 || ghost.P999Ms != 0 {
+		t.Fatalf("zero-core-window client reports non-zero tails: p99=%v p99.9=%v", ghost.P99Ms, ghost.P999Ms)
+	}
+	if math.IsNaN(ghost.P99Ms) || math.IsNaN(ghost.P999Ms) || math.IsNaN(res.BatchGain) {
+		t.Fatalf("NaN leaked into metrics: %+v", res)
+	}
+	if ghost.ViolationWindows != 0 || ghost.EngagedCoreHours != 0 {
+		t.Fatalf("zero-core-window client accrued activity: %+v", ghost)
+	}
+}
+
+// TestWindowTraceConsistency checks the per-window series against the
+// aggregate result: per-window violation and core counts must sum to the
+// fleet totals, and slack must mirror the measured tails.
+func TestWindowTraceConsistency(t *testing.T) {
+	cfg := lowLoadConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WindowTrace) != res.Windows {
+		t.Fatalf("%d trace entries for %d windows", len(res.WindowTrace), res.Windows)
+	}
+	viol, serving, drained, idle := 0, 0, 0, 0
+	for w, o := range res.WindowTrace {
+		if o.Window != w {
+			t.Fatalf("trace entry %d labelled window %d", w, o.Window)
+		}
+		if got := o.ServingCores + o.DrainedCores + o.IdleCores; got != res.Cores {
+			t.Fatalf("window %d partitions %d cores, want %d", w, got, res.Cores)
+		}
+		viol += o.Violations
+		serving += o.ServingCores
+		drained += o.DrainedCores
+		idle += o.IdleCores
+		for ci, co := range o.Clients {
+			if co.Cores == 0 {
+				continue
+			}
+			if co.MaxTailMs < co.MeanTailMs || co.TailP99Ms > co.MaxTailMs {
+				t.Fatalf("window %d client %d tail summary inconsistent: %+v", w, ci, co)
+			}
+			// The window's mean monitor slack must agree with the mean
+			// tail: slack = (target - tail)/target.
+			want := (res.Clients[ci].TargetMs - co.MeanTailMs) / res.Clients[ci].TargetMs
+			if diff := co.MeanSlack - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("window %d client %d slack %v, want %v", w, ci, co.MeanSlack, want)
+			}
+		}
+	}
+	if viol != res.ViolationWindows {
+		t.Fatalf("trace violations %d != aggregate %d", viol, res.ViolationWindows)
+	}
+	if drained != res.DrainedCoreWindows || idle != res.IdleCoreWindows {
+		t.Fatalf("trace drained/idle %d/%d != aggregate %d/%d",
+			drained, idle, res.DrainedCoreWindows, res.IdleCoreWindows)
+	}
+	total := 0
+	for _, cm := range res.Clients {
+		total += cm.CoreWindows
+	}
+	if serving != total {
+		t.Fatalf("trace serving core-windows %d != client sum %d", serving, total)
 	}
 }
 

@@ -1,18 +1,23 @@
 // The fleet scheduler decides, window by window, which client each SMT
 // core serves and at what arrival rate — turning the §VI-D observation
 // that Stretch's value comes from *reacting to load* into a first-class,
-// replayable policy. The whole schedule is computed in a sequential
-// pre-pass from the (already materialised) client timelines and the
-// scenario's drain/surge/perf events, before any simulation goroutine
-// starts: scheduling therefore never consumes simulation randomness, and
-// results stay bit-identical for identical seeds regardless of the worker
-// count.
+// replayable policy. Since the engine went window-major, the scheduler is a
+// stateful stepped interface (Stepper): Plan fixes the static inputs, then
+// Step is called once per window — with the previous window's *measured*
+// observation — and returns the window's assignment. The open-loop
+// policies (static, proportional, p2c) decide from offered load alone and
+// ignore the observation, so their schedules are bit-identical to the
+// former precomputed plan; PolicyFeedback (feedback.go) closes the loop on
+// measured tails. Scheduling draws only from its own seed-derived rng
+// stream, never from simulation randomness, so results stay bit-identical
+// for identical seeds regardless of the worker count.
 package fleet
 
 import (
 	"fmt"
 	"sort"
 
+	"stretch/internal/loadgen"
 	"stretch/internal/rng"
 	"stretch/internal/workload"
 )
@@ -37,6 +42,13 @@ const (
 	// instead of an even split: the load arrives in chunks, each chunk
 	// picking the less-loaded of two uniformly sampled cores.
 	PolicyP2C
+	// PolicyFeedback allocates like PolicyProportional but weights each
+	// client's demand by a closed-loop pressure signal from the previous
+	// window's measurements: clients with violating core-windows gain
+	// weight (and steal cores), clients whose observed tails sit far below
+	// target decay and release them — all under the same hysteresis,
+	// min-core-floor and migration-penalty machinery.
+	PolicyFeedback
 )
 
 // String names the policy.
@@ -48,12 +60,14 @@ func (p Policy) String() string {
 		return "proportional"
 	case PolicyP2C:
 		return "p2c"
+	case PolicyFeedback:
+		return "feedback"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
 }
 
-// ParsePolicy resolves a policy name (static|proportional|p2c).
+// ParsePolicy resolves a policy name (static|proportional|p2c|feedback).
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "static", "":
@@ -62,8 +76,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyProportional, nil
 	case "p2c":
 		return PolicyP2C, nil
+	case "feedback":
+		return PolicyFeedback, nil
 	default:
-		return 0, fmt.Errorf("fleet: unknown policy %q (static|proportional|p2c)", s)
+		return 0, fmt.Errorf("fleet: unknown policy %q (static|proportional|p2c|feedback)", s)
 	}
 }
 
@@ -85,24 +101,33 @@ type SchedulerConfig struct {
 	// at (1-MigrationPenalty) of its performance and forfeits its B-mode
 	// batch bonus (cold caches, state handoff). Default 0.25.
 	MigrationPenalty float64
+
+	// NoMinCores, NoHysteresis and NoMigrationPenalty make the
+	// corresponding zero value literal instead of "use the default": a
+	// plain zero struct still gets the defaults above (so existing configs
+	// keep working), while e.g. NoHysteresis genuinely disables rebalance
+	// damping and NoMigrationPenalty makes core moves free. Setting a flag
+	// together with a non-zero value of its field is rejected.
+	NoMinCores, NoHysteresis, NoMigrationPenalty bool
 }
 
-// Defaults used when the corresponding SchedulerConfig field is zero.
+// Defaults used when the corresponding SchedulerConfig field is zero and
+// not explicitly disabled.
 const (
 	defaultMinCores         = 1
 	defaultHysteresis       = 0.1
 	defaultMigrationPenalty = 0.25
 )
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields unless they are explicitly pinned to zero.
 func (s SchedulerConfig) withDefaults() SchedulerConfig {
-	if s.MinCores == 0 {
+	if s.MinCores == 0 && !s.NoMinCores {
 		s.MinCores = defaultMinCores
 	}
-	if s.Hysteresis == 0 {
+	if s.Hysteresis == 0 && !s.NoHysteresis {
 		s.Hysteresis = defaultHysteresis
 	}
-	if s.MigrationPenalty == 0 {
+	if s.MigrationPenalty == 0 && !s.NoMigrationPenalty {
 		s.MigrationPenalty = defaultMigrationPenalty
 	}
 	return s
@@ -111,7 +136,7 @@ func (s SchedulerConfig) withDefaults() SchedulerConfig {
 // Validate rejects unusable tunings. Zero fields are legal (defaulted).
 func (s SchedulerConfig) Validate() error {
 	switch {
-	case s.Policy != PolicyStatic && s.Policy != PolicyProportional && s.Policy != PolicyP2C:
+	case s.Policy < PolicyStatic || s.Policy > PolicyFeedback:
 		return fmt.Errorf("fleet: unknown scheduler policy %d", int(s.Policy))
 	case s.MinCores < 0:
 		return fmt.Errorf("fleet: negative min-core floor")
@@ -119,11 +144,17 @@ func (s SchedulerConfig) Validate() error {
 		return fmt.Errorf("fleet: hysteresis %v out of [0,1)", s.Hysteresis)
 	case s.MigrationPenalty < 0 || s.MigrationPenalty >= 1:
 		return fmt.Errorf("fleet: migration penalty %v out of [0,1)", s.MigrationPenalty)
+	case s.NoMinCores && s.MinCores != 0:
+		return fmt.Errorf("fleet: NoMinCores contradicts MinCores=%d", s.MinCores)
+	case s.NoHysteresis && s.Hysteresis != 0:
+		return fmt.Errorf("fleet: NoHysteresis contradicts Hysteresis=%v", s.Hysteresis)
+	case s.NoMigrationPenalty && s.MigrationPenalty != 0:
+		return fmt.Errorf("fleet: NoMigrationPenalty contradicts MigrationPenalty=%v", s.MigrationPenalty)
 	}
 	return nil
 }
 
-// Core-assignment sentinels used in plan.client.
+// Core-assignment sentinels used in Assignment.Client.
 const (
 	// coreIdle marks an in-service core with no client this window.
 	coreIdle int16 = -1
@@ -135,186 +166,266 @@ const (
 // window's load splits into; more chunks = smoother balancing.
 const p2cChunksPerCore = 8
 
-// plan is the fully precomputed fleet schedule: for every core and window,
-// the client served (or an idle/drained sentinel), the arrival rate, and
-// whether the core pays the migration penalty this window.
-type plan struct {
-	// perf[core] is the server's performance-generation factor.
-	perf []float64
-	// client[core][window], rate[core][window], migrated[core][window].
-	client   [][]int16
-	rate     [][]float64
-	migrated [][]bool
-
-	// initialCores[clientIndex] is the window-0 allocation.
-	initialCores []int
-	// Aggregate schedule stats.
-	migrations         int
-	drainedCoreWindows int
-	idleCoreWindows    int
+// Assignment is one window's scheduling decision: for every core, the
+// client served (or an idle/drained sentinel), the arrival rate routed to
+// it, and whether it pays the migration penalty this window. The slices
+// belong to the scheduler and are valid only until the next Step call.
+type Assignment struct {
+	Client   []int16
+	Rate     []float64
+	Migrated []bool
 }
 
-// buildPlan computes the schedule. sched must already carry defaults and
-// timelines must cover every client.
-func buildPlan(cfg Config, sched SchedulerConfig, timelines map[string][]float64) *plan {
-	nCores := cfg.Servers * cfg.CoresPerServer
-	windows := cfg.Traffic.Windows
-	clients := cfg.Traffic.Clients
+// PlanInput carries the static scheduler inputs, fixed before the first
+// window: fleet shape, traffic spec with its materialised per-client
+// timelines, scenario events and the experiment seed.
+type PlanInput struct {
+	Servers, CoresPerServer int
+	Traffic                 loadgen.Traffic
+	// Timelines maps each client name to its per-window offered load
+	// (already drawn from the seed).
+	Timelines map[string][]float64
+	Scenario  loadgen.Scenario
+	Seed      uint64
+}
+
+// Stepper is the stateful, stepped scheduling interface the window-major
+// engine drives. Plan consumes the static inputs once; Step is then called
+// for every window in order, receiving the previous window's measured
+// observation (nil at window 0), and returns the window's assignment.
+// Policies are free to ignore the observation (the open-loop policies do)
+// or to close the loop on it (PolicyFeedback).
+type Stepper interface {
+	Plan(in PlanInput) error
+	Step(w int, obs *WindowObservation) Assignment
+}
+
+// newStepper builds the Stepper for the configured policy. sched must
+// already carry defaults.
+func newStepper(sched SchedulerConfig) Stepper {
+	e := &elastic{sched: sched}
+	switch sched.Policy {
+	case PolicyProportional, PolicyP2C:
+		e.alloc = demandAlloc{}
+	case PolicyFeedback:
+		e.alloc = &feedbackAlloc{}
+	}
+	return e
+}
+
+// allocator computes the per-client desired core counts for the elastic
+// policies; a nil allocator means static ownership (cores never move).
+type allocator interface {
+	desired(e *elastic, w int, obs *WindowObservation) []int
+}
+
+// demandAlloc is the open-loop proportional allocation shared by
+// PolicyProportional and PolicyP2C: cores in proportion to each client's
+// SLO-weighted offered load.
+type demandAlloc struct{}
+
+func (demandAlloc) desired(e *elastic, _ int, _ *WindowObservation) []int {
+	for ci := range e.demand {
+		e.demand[ci] = e.load[ci] / e.sat[ci]
+	}
+	return allocCounts(e.demand, e.fracs, e.nActive, e.sched.MinCores)
+}
+
+// elastic implements Stepper for every built-in policy; the policies
+// differ only in the allocator hook (and p2c's routing). All scratch state
+// is owned by the stepper, so Step performs no per-window allocations
+// beyond the allocator's count slice.
+type elastic struct {
+	sched SchedulerConfig
+	alloc allocator
+
+	nCores, coresPerServer, windows, n int
+
+	rates      [][]float64 // per-client offered-load timelines
+	sat, fracs []float64
+	drained    [][]bool
+	surge      [][]float64
+
+	route      *rng.Stream
+	owner      []int16
+	active     []bool
+	prevClient []int16
+	load       []float64
+	demand     []float64
+	cur        []int
+	byClient   [][]int
+	per        []float64 // p2c routing scratch
+	nActive    int
+	// force is set by the allocator to push the rebalance through the
+	// hysteresis threshold (PolicyFeedback on a measured violation); it is
+	// cleared every Step.
+	force bool
+
+	asg Assignment
+}
+
+// Plan materialises the static schedule inputs: demand normalisation, the
+// scenario's drain/surge matrices, and the window-0 ownership from the
+// static Fraction split.
+func (e *elastic) Plan(in PlanInput) error {
+	nCores := in.Servers * in.CoresPerServer
+	clients := in.Traffic.Clients
 	n := len(clients)
+	e.nCores, e.coresPerServer, e.windows, e.n = nCores, in.CoresPerServer, in.Traffic.Windows, n
 
 	names := make([]string, n)
-	rates := make([][]float64, n)
-	sat := make([]float64, n)
-	fracs := make([]float64, n)
+	e.rates = make([][]float64, n)
+	e.sat = make([]float64, n)
+	e.fracs = make([]float64, n)
 	for i, c := range clients {
 		names[i] = c.Name
-		rates[i] = timelines[c.Name]
+		tl, ok := in.Timelines[c.Name]
+		if !ok || len(tl) < e.windows {
+			return fmt.Errorf("fleet: client %q has no %d-window timeline", c.Name, e.windows)
+		}
+		e.rates[i] = tl
 		svc := workload.Services()[c.Service]
 		// Demand normalises offered load by the service's per-core
 		// saturation rate and weights it by SLO class: a strict client
 		// needs proportionally more headroom per unit of load than a
 		// relaxed one, whose slack the batch side can harvest instead.
-		sat[i] = float64(svc.Workers) * 1000 / svc.MeanServiceMs * c.SLO.Scale()
-		fracs[i] = c.Fraction
+		e.sat[i] = float64(svc.Workers) * 1000 / svc.MeanServiceMs * c.SLO.Scale()
+		e.fracs[i] = c.Fraction
 	}
-	perfGen := cfg.Scenario.PerfFactors(cfg.Servers)
-	drained := cfg.Scenario.DrainMask(cfg.Servers, windows)
-	surge := cfg.Scenario.SurgeMatrix(names, windows)
-
-	p := &plan{
-		perf:         make([]float64, nCores),
-		client:       make([][]int16, nCores),
-		rate:         make([][]float64, nCores),
-		migrated:     make([][]bool, nCores),
-		initialCores: make([]int, n),
-	}
-	for c := 0; c < nCores; c++ {
-		p.perf[c] = perfGen[c/cfg.CoresPerServer]
-		p.client[c] = make([]int16, windows)
-		p.rate[c] = make([]float64, windows)
-		p.migrated[c] = make([]bool, windows)
-	}
+	e.drained = in.Scenario.DrainMask(in.Servers, e.windows)
+	e.surge = in.Scenario.SurgeMatrix(names, e.windows)
 
 	// Owners start from the static Fraction split; elastic policies adjust
 	// them window by window. Drained cores keep their owner so a restored
 	// server resumes where it left off until the next rebalance.
-	owner := make([]int16, nCores)
+	e.owner = make([]int16, nCores)
 	idx := 0
 	for ci, k := range assignCores(clients, nCores) {
 		for j := 0; j < k; j++ {
-			owner[idx] = int16(ci)
+			e.owner[idx] = int16(ci)
 			idx++
 		}
 	}
 	for ; idx < nCores; idx++ {
-		owner[idx] = coreIdle
+		e.owner[idx] = coreIdle
 	}
 
-	route := rng.New(cfg.Seed).Derive(0x70C2)
-	active := make([]bool, nCores)
-	load := make([]float64, n)
-	cur := make([]int, n)
-	byClient := make([][]int, n)
+	e.route = rng.New(in.Seed).Derive(0x70C2)
+	e.active = make([]bool, nCores)
+	e.prevClient = make([]int16, nCores)
+	e.load = make([]float64, n)
+	e.demand = make([]float64, n)
+	e.cur = make([]int, n)
+	e.byClient = make([][]int, n)
+	e.asg = Assignment{
+		Client:   make([]int16, nCores),
+		Rate:     make([]float64, nCores),
+		Migrated: make([]bool, nCores),
+	}
+	return nil
+}
 
-	for w := 0; w < windows; w++ {
-		nActive := 0
-		drainChanged := w == 0
-		for c := 0; c < nCores; c++ {
-			a := !drained[c/cfg.CoresPerServer][w]
-			if w > 0 && a != active[c] {
-				drainChanged = true
-			}
-			active[c] = a
-			if a {
-				nActive++
-			}
+// Step decides window w: apply the drain mask, compute offered load, let
+// the allocator move cores (behind the hysteresis threshold), then route
+// each client's load across its in-service cores.
+func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
+	nCores, n := e.nCores, e.n
+	nActive := 0
+	drainChanged := w == 0
+	for c := 0; c < nCores; c++ {
+		a := !e.drained[c/e.coresPerServer][w]
+		if w > 0 && a != e.active[c] {
+			drainChanged = true
 		}
-		for ci := 0; ci < n; ci++ {
-			load[ci] = rates[ci][w] * surge[ci][w]
+		e.active[c] = a
+		if a {
+			nActive++
 		}
+	}
+	e.nActive = nActive
+	for ci := 0; ci < n; ci++ {
+		e.load[ci] = e.rates[ci][w] * e.surge[ci][w]
+	}
 
-		if sched.Policy != PolicyStatic && nActive > 0 {
-			for ci := range cur {
-				cur[ci] = 0
-			}
-			for c := 0; c < nCores; c++ {
-				if active[c] && owner[c] >= 0 {
-					cur[owner[c]]++
-				}
-			}
-			demand := make([]float64, n)
-			for ci := range demand {
-				demand[ci] = load[ci] / sat[ci]
-			}
-			desired := allocCounts(demand, fracs, nActive, sched.MinCores)
-			moves := 0
-			for ci := range desired {
-				if d := desired[ci] - cur[ci]; d > 0 {
-					moves += d
-				}
-			}
-			if drainChanged || float64(moves) > sched.Hysteresis*float64(nActive) {
-				rebalance(owner, active, cur, desired)
-			}
-		}
-
-		// Record assignments, migrations and per-client core lists.
-		for ci := range byClient {
-			byClient[ci] = byClient[ci][:0]
+	if e.alloc != nil && nActive > 0 {
+		for ci := range e.cur {
+			e.cur[ci] = 0
 		}
 		for c := 0; c < nCores; c++ {
-			cl := owner[c]
-			if !active[c] {
-				cl = coreDrained
-			}
-			p.client[c][w] = cl
-			switch {
-			case cl == coreDrained:
-				p.drainedCoreWindows++
-			case cl == coreIdle:
-				p.idleCoreWindows++
-			default:
-				if w > 0 && p.client[c][w-1] != cl {
-					p.migrated[c][w] = true
-					p.migrations++
-				}
-				byClient[cl] = append(byClient[cl], c)
-				if w == 0 {
-					p.initialCores[cl]++
-				}
+			if e.active[c] && e.owner[c] >= 0 {
+				e.cur[e.owner[c]]++
 			}
 		}
-
-		// Route each client's offered load across its in-service cores.
-		for ci := 0; ci < n; ci++ {
-			cores := byClient[ci]
-			k := len(cores)
-			if k == 0 || load[ci] == 0 {
-				continue
+		e.force = false
+		desired := e.alloc.desired(e, w, obs)
+		moves := 0
+		for ci := range desired {
+			if d := desired[ci] - e.cur[ci]; d > 0 {
+				moves += d
 			}
-			if sched.Policy == PolicyP2C && k > 1 {
-				chunks := p2cChunksPerCore * k
-				q := load[ci] / float64(chunks)
-				per := make([]float64, k)
-				for j := 0; j < chunks; j++ {
-					a := route.Intn(k)
-					if b := route.Intn(k); per[b] < per[a] {
-						a = b
-					}
-					per[a] += q
+		}
+		if drainChanged || (e.force && moves > 0) ||
+			float64(moves) > e.sched.Hysteresis*float64(nActive) {
+			rebalance(e.owner, e.active, e.cur, desired)
+		}
+	}
+
+	// Record assignments, migrations and per-client core lists.
+	for ci := range e.byClient {
+		e.byClient[ci] = e.byClient[ci][:0]
+	}
+	for c := 0; c < nCores; c++ {
+		cl := e.owner[c]
+		if !e.active[c] {
+			cl = coreDrained
+		}
+		e.asg.Client[c] = cl
+		e.asg.Rate[c] = 0
+		e.asg.Migrated[c] = false
+		if cl >= 0 {
+			if w > 0 && e.prevClient[c] != cl {
+				e.asg.Migrated[c] = true
+			}
+			e.byClient[cl] = append(e.byClient[cl], c)
+		}
+		e.prevClient[c] = cl
+	}
+
+	// Route each client's offered load across its in-service cores.
+	for ci := 0; ci < n; ci++ {
+		cores := e.byClient[ci]
+		k := len(cores)
+		if k == 0 || e.load[ci] == 0 {
+			continue
+		}
+		if e.sched.Policy == PolicyP2C && k > 1 {
+			chunks := p2cChunksPerCore * k
+			q := e.load[ci] / float64(chunks)
+			if cap(e.per) < k {
+				e.per = make([]float64, k)
+			}
+			per := e.per[:k]
+			for i := range per {
+				per[i] = 0
+			}
+			for j := 0; j < chunks; j++ {
+				a := e.route.Intn(k)
+				if b := e.route.Intn(k); per[b] < per[a] {
+					a = b
 				}
-				for i, c := range cores {
-					p.rate[c][w] = per[i]
-				}
-			} else {
-				r := load[ci] / float64(k)
-				for _, c := range cores {
-					p.rate[c][w] = r
-				}
+				per[a] += q
+			}
+			for i, c := range cores {
+				e.asg.Rate[c] = per[i]
+			}
+		} else {
+			r := e.load[ci] / float64(k)
+			for _, c := range cores {
+				e.asg.Rate[c] = r
 			}
 		}
 	}
-	return p
+	return e.asg
 }
 
 // allocCounts divides nActive cores across clients proportionally to

@@ -15,6 +15,7 @@ func TestParsePolicy(t *testing.T) {
 		"static":       PolicyStatic,
 		"proportional": PolicyProportional,
 		"p2c":          PolicyP2C,
+		"feedback":     PolicyFeedback,
 	} {
 		got, err := ParsePolicy(s)
 		if err != nil || got != want {
@@ -35,16 +36,81 @@ func TestSchedulerConfigValidate(t *testing.T) {
 	}
 	bad := []SchedulerConfig{
 		{Policy: Policy(9)},
+		{Policy: Policy(-1)},
 		{MinCores: -1},
 		{Hysteresis: -0.1},
 		{Hysteresis: 1},
 		{MigrationPenalty: -0.5},
 		{MigrationPenalty: 1},
+		{NoMinCores: true, MinCores: 2},
+		{NoHysteresis: true, Hysteresis: 0.2},
+		{NoMigrationPenalty: true, MigrationPenalty: 0.1},
 	}
 	for i, sc := range bad {
 		if err := sc.Validate(); err == nil {
 			t.Errorf("bad config %d accepted: %+v", i, sc)
 		}
+	}
+}
+
+// TestSchedulerConfigZeroVsUnset pins the explicit zero-vs-unset
+// semantics: a zero field still defaults (so existing configs keep their
+// meaning), while the No* flags pin the zero as literal.
+func TestSchedulerConfigZeroVsUnset(t *testing.T) {
+	d := (SchedulerConfig{}).withDefaults()
+	if d.MinCores != defaultMinCores || d.Hysteresis != defaultHysteresis ||
+		d.MigrationPenalty != defaultMigrationPenalty {
+		t.Fatalf("zero config did not default: %+v", d)
+	}
+	z := SchedulerConfig{NoMinCores: true, NoHysteresis: true, NoMigrationPenalty: true}
+	if err := z.Validate(); err != nil {
+		t.Fatalf("explicit-zero config rejected: %v", err)
+	}
+	zd := z.withDefaults()
+	if zd.MinCores != 0 || zd.Hysteresis != 0 || zd.MigrationPenalty != 0 {
+		t.Fatalf("explicit zeros were overwritten by defaults: %+v", zd)
+	}
+	// Non-zero values pass through untouched either way.
+	nz := SchedulerConfig{MinCores: 3, Hysteresis: 0.5, MigrationPenalty: 0.4}.withDefaults()
+	if nz.MinCores != 3 || nz.Hysteresis != 0.5 || nz.MigrationPenalty != 0.4 {
+		t.Fatalf("non-zero fields rewritten: %+v", nz)
+	}
+}
+
+// TestNoHysteresisFollowsEveryDrift checks that a genuinely disabled
+// hysteresis rebalances on any demand drift (the former Hysteresis: 0
+// silently re-enabled the 0.1 default).
+func TestNoHysteresisFollowsEveryDrift(t *testing.T) {
+	cfg := planConfig(PolicyProportional)
+	cfg.Scheduler.NoHysteresis = true
+	p := mustPlan(t, cfg)
+	if p.migrations == 0 {
+		t.Fatal("no migrations with hysteresis explicitly disabled")
+	}
+}
+
+// TestNoMigrationPenaltyIsFree checks a migrated core under an explicitly
+// disabled penalty runs at full performance and keeps its B-mode bonus:
+// the run must harvest at least the batch core-hours of the default
+// penalty config.
+func TestNoMigrationPenaltyIsFree(t *testing.T) {
+	base := planConfig(PolicyProportional)
+	withPenalty, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := planConfig(PolicyProportional)
+	free.Scheduler.NoMigrationPenalty = true
+	noPenalty, err := Run(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPenalty.Migrations == 0 {
+		t.Fatal("no migrations scheduled; penalty comparison is vacuous")
+	}
+	if noPenalty.BatchCoreHoursGained < withPenalty.BatchCoreHoursGained {
+		t.Fatalf("free migrations gained %.3f batch core-hours < penalised %.3f",
+			noPenalty.BatchCoreHoursGained, withPenalty.BatchCoreHoursGained)
 	}
 }
 
@@ -95,8 +161,20 @@ func planConfig(policy Policy) Config {
 	}
 }
 
-// mustPlan builds the plan for a config via the same path Run uses.
-func mustPlan(t *testing.T, cfg Config) *plan {
+// testPlan collects a stepper's full-horizon schedule into the shape the
+// old precomputed plan had, for schedule-level assertions.
+type testPlan struct {
+	client             [][]int16
+	rate               [][]float64
+	migrated           [][]bool
+	migrations         int
+	drainedCoreWindows int
+	idleCoreWindows    int
+}
+
+// mustPlan drives the stepped scheduler over the whole horizon via the
+// same path Run uses (open loop: no observations) and records the result.
+func mustPlan(t *testing.T, cfg Config) *testPlan {
 	t.Helper()
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
@@ -105,7 +183,44 @@ func mustPlan(t *testing.T, cfg Config) *plan {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return buildPlan(cfg, cfg.Scheduler.withDefaults(), tls)
+	st := newStepper(cfg.Scheduler.withDefaults())
+	if err := st.Plan(PlanInput{
+		Servers: cfg.Servers, CoresPerServer: cfg.CoresPerServer,
+		Traffic: cfg.Traffic, Timelines: tls,
+		Scenario: cfg.Scenario, Seed: cfg.Seed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nCores := cfg.Servers * cfg.CoresPerServer
+	p := &testPlan{
+		client:   make([][]int16, nCores),
+		rate:     make([][]float64, nCores),
+		migrated: make([][]bool, nCores),
+	}
+	for c := 0; c < nCores; c++ {
+		p.client[c] = make([]int16, cfg.Traffic.Windows)
+		p.rate[c] = make([]float64, cfg.Traffic.Windows)
+		p.migrated[c] = make([]bool, cfg.Traffic.Windows)
+	}
+	for w := 0; w < cfg.Traffic.Windows; w++ {
+		asg := st.Step(w, nil)
+		for c := 0; c < nCores; c++ {
+			p.client[c][w] = asg.Client[c]
+			p.rate[c][w] = asg.Rate[c]
+			p.migrated[c][w] = asg.Migrated[c]
+			switch {
+			case asg.Client[c] == coreDrained:
+				p.drainedCoreWindows++
+			case asg.Client[c] == coreIdle:
+				p.idleCoreWindows++
+			default:
+				if asg.Migrated[c] {
+					p.migrations++
+				}
+			}
+		}
+	}
+	return p
 }
 
 func TestStaticPlanKeepsOwnership(t *testing.T) {
@@ -372,8 +487,9 @@ func TestProportionalBeatsStaticOnMixedDay(t *testing.T) {
 	}
 }
 
-// --- Determinism: full-Result DeepEqual across worker counts for every
-// policy, with and without scenario events (the ISSUE 2 satellite).
+// --- Determinism: full-Result DeepEqual (including WindowTrace) across
+// worker counts for every policy — closed-loop feedback included — with
+// and without scenario events.
 
 func TestSchedulerDeterministicAcrossWorkerCounts(t *testing.T) {
 	scenario := loadgen.Scenario{Events: []loadgen.Event{
@@ -382,7 +498,7 @@ func TestSchedulerDeterministicAcrossWorkerCounts(t *testing.T) {
 		{Kind: loadgen.EventSurge, Window: 4, Until: 8, Client: "b", Factor: 1.5},
 		{Kind: loadgen.EventPerf, Server: 3, Factor: 0.85},
 	}}
-	for _, policy := range []Policy{PolicyStatic, PolicyProportional, PolicyP2C} {
+	for _, policy := range []Policy{PolicyStatic, PolicyProportional, PolicyP2C, PolicyFeedback} {
 		for _, withEvents := range []bool{false, true} {
 			cfg := planConfig(policy)
 			cfg.Traffic.Clients[0].Spec.Poisson = true

@@ -129,6 +129,9 @@ type Controller struct {
 	violStreak int
 	throttled  bool
 
+	lastTail float64
+	observed bool
+
 	switches uint64
 }
 
@@ -149,6 +152,23 @@ func (c *Controller) Throttled() bool { return c.throttled }
 // Switches returns how many mode changes the controller has requested.
 func (c *Controller) Switches() uint64 { return c.switches }
 
+// LastTailMs returns the most recently observed windowed tail latency
+// (0 before the first observation).
+func (c *Controller) LastTailMs() float64 { return c.lastTail }
+
+// Slack returns the controller's current headroom below its tail-latency
+// target as a fraction of the target: (target − lastTail)/target. Positive
+// slack means the service runs below target — the reserve the batch thread
+// can harvest (§IV-C); negative slack is a QoS violation. Before any
+// observation, or when the controller is not tail-latency driven, Slack
+// returns 0.
+func (c *Controller) Slack() float64 {
+	if !c.observed || c.cfg.TargetMs <= 0 {
+		return 0
+	}
+	return (c.cfg.TargetMs - c.lastTail) / c.cfg.TargetMs
+}
+
 // Observation is one monitoring window's QoS reading.
 type Observation struct {
 	// TailMs is the window's latency at the QoS quantile.
@@ -160,6 +180,8 @@ type Observation struct {
 // Observe consumes one window and returns the action the system software
 // should take. The controller assumes the action is applied.
 func (c *Controller) Observe(o Observation) Action {
+	c.lastTail = o.TailMs
+	c.observed = true
 	low, high := c.classify(o)
 
 	if low {

@@ -174,6 +174,31 @@ func TestHysteresisPreventsFlapping(t *testing.T) {
 	}
 }
 
+// TestSlackReflectsLastObservation pins the headroom reading the fleet
+// engine publishes in its window observations: (target − tail)/target
+// after each Observe, 0 before any observation, negative on violation.
+func TestSlackReflectsLastObservation(t *testing.T) {
+	c := newCtl(t) // target 100ms
+	if c.Slack() != 0 || c.LastTailMs() != 0 {
+		t.Fatalf("unobserved controller reports slack %v tail %v", c.Slack(), c.LastTailMs())
+	}
+	c.Observe(Observation{TailMs: 30})
+	if c.LastTailMs() != 30 {
+		t.Fatalf("last tail %v, want 30", c.LastTailMs())
+	}
+	if got := c.Slack(); got != 0.7 {
+		t.Fatalf("slack %v, want 0.7", got)
+	}
+	c.Observe(Observation{TailMs: 150})
+	if got := c.Slack(); got != -0.5 {
+		t.Fatalf("violating slack %v, want -0.5", got)
+	}
+	c.Observe(Observation{TailMs: 100})
+	if got := c.Slack(); got != 0 {
+		t.Fatalf("at-target slack %v, want 0", got)
+	}
+}
+
 func TestActionStrings(t *testing.T) {
 	for a := ActionNone; a <= ActionStopThrottle; a++ {
 		if a.String() == "" {

@@ -124,12 +124,47 @@ func (h *minHeap) popMin() float64 {
 	return top
 }
 
-// Simulate runs nRequests through the service at the given arrival rate
-// (requests per second) with the core at perfFactor of full single-thread
-// performance. The first 10% of requests are warm-up and excluded.
-func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64, seed uint64) (Result, error) {
+// Simulator runs request-level simulations with reusable state: the worker
+// and waiting heaps and the latency sample buffer persist across runs, so a
+// caller stepping many monitoring windows (the fleet engine's hot loop)
+// pays no per-window heap allocations. The zero value is ready after Reset.
+// A Simulator is not safe for concurrent use; share one per goroutine.
+type Simulator struct {
+	cfg     Config
+	workers minHeap
+	waiting minHeap
+	lat     *stats.Sample
+}
+
+// NewSimulator builds a Simulator for cfg.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	s := &Simulator{}
+	if err := s.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset swaps in a service configuration, keeping the allocated heaps and
+// sample buffer for reuse by the next Simulate call.
+func (s *Simulator) Reset(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return err
+	}
+	s.cfg = cfg
+	return nil
+}
+
+// Simulate runs nRequests through the configured service at the given
+// arrival rate (requests per second) with the core at perfFactor of full
+// single-thread performance. The first 10% of requests are warm-up and
+// excluded. Results are bit-identical to the package-level Simulate for
+// the same (config, arguments, seed), regardless of what the Simulator ran
+// before.
+func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float64, seed uint64) (Result, error) {
+	cfg := s.cfg
+	if cfg.Workers <= 0 {
+		return Result{}, fmt.Errorf("queueing: Simulator not configured (call Reset first)")
 	}
 	if ratePerSec <= 0 || nRequests <= 0 {
 		return Result{}, fmt.Errorf("queueing: non-positive rate or request count")
@@ -144,12 +179,25 @@ func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64,
 	// FCFS k-server queue processed in arrival order: with identical
 	// workers, assigning each request to the earliest-free worker in
 	// arrival order is exactly FCFS.
-	workers := make(minHeap, cfg.Workers)
+	if cap(s.workers) < cfg.Workers {
+		s.workers = make(minHeap, cfg.Workers)
+	} else {
+		s.workers = s.workers[:cfg.Workers]
+		for i := range s.workers {
+			s.workers[i] = 0
+		}
+	}
+	workers := &s.workers
 
 	meanGapMs := 1000 / ratePerSec
 	now := 0.0 // arrival clock, ms
 	warm := nRequests / 10
-	lat := stats.NewSample(nRequests - warm)
+	if s.lat == nil {
+		s.lat = stats.NewSample(nRequests - warm)
+	} else {
+		s.lat.Reset()
+	}
+	lat := s.lat
 	var mean stats.Running
 	maxQ := 0
 	pending := 0 // requests in this burst still to arrive at `now`
@@ -158,7 +206,8 @@ func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64,
 	// yet begun service. Draining it as the arrival clock advances tracks
 	// the queue depth incrementally — O(log n) amortised per request —
 	// instead of rescanning the whole worker heap on every arrival.
-	waiting := make(minHeap, 0, cfg.Workers)
+	s.waiting = s.waiting[:0]
+	waiting := &s.waiting
 
 	for i := 0; i < nRequests; i++ {
 		if pending > 0 {
@@ -177,19 +226,19 @@ func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64,
 		if now > start {
 			start = now
 		}
-		s := svc.LogNormal(cfg.MeanServiceMs, cfg.ServiceCV) / perfFactor
-		finish := start + s
+		svcMs := svc.LogNormal(cfg.MeanServiceMs, cfg.ServiceCV) / perfFactor
+		finish := start + svcMs
 		workers.push(finish)
 
 		// Queue depth: drop requests that started by `now`, then count
 		// this one if it has to wait.
-		for len(waiting) > 0 && waiting[0] <= now {
+		for len(*waiting) > 0 && (*waiting)[0] <= now {
 			waiting.popMin()
 		}
 		if start > now {
 			waiting.push(start)
-			if len(waiting) > maxQ {
-				maxQ = len(waiting)
+			if len(*waiting) > maxQ {
+				maxQ = len(*waiting)
 			}
 		}
 		if i >= warm {
@@ -209,6 +258,19 @@ func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64,
 	}
 	r.MeetsQoS = r.QoSMs <= cfg.QoSTargetMs
 	return r, nil
+}
+
+// Simulate runs nRequests through the service at the given arrival rate
+// (requests per second) with the core at perfFactor of full single-thread
+// performance. The first 10% of requests are warm-up and excluded. It is
+// the one-shot form of Simulator.Simulate; callers stepping many windows
+// should hold a Simulator to amortise the allocations.
+func Simulate(cfg Config, ratePerSec float64, nRequests int, perfFactor float64, seed uint64) (Result, error) {
+	var s Simulator
+	if err := s.Reset(cfg); err != nil {
+		return Result{}, err
+	}
+	return s.Simulate(ratePerSec, nRequests, perfFactor, seed)
 }
 
 // PeakLoad finds the highest arrival rate (req/s) that still meets the QoS

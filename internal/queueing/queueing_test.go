@@ -159,9 +159,69 @@ func TestMaxQueueGrowsWithOverload(t *testing.T) {
 	}
 }
 
+// TestSimulatorMatchesSimulate pins the reuse contract the fleet hot loop
+// relies on: a Simulator re-used across runs — with other configurations
+// and rates interleaved — must produce results bit-identical to the
+// one-shot package function for every (config, args, seed).
+func TestSimulatorMatchesSimulate(t *testing.T) {
+	a := cfg()
+	b := Config{
+		Workers: 64, MeanServiceMs: 2, ServiceCV: 0.4,
+		BurstProb: 0.02, BurstLen: 10, QoSQuantile: 0.95, QoSTargetMs: 30,
+	}
+	sim, err := NewSimulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []struct {
+		cfg  Config
+		rate float64
+		n    int
+		perf float64
+		seed uint64
+	}{
+		{a, 400, 5000, 1, 1},
+		{b, 20000, 3000, 0.8, 2},
+		{a, 1500, 2000, 0.6, 3},
+		{a, 400, 5000, 1, 1}, // repeat of the first: must still match
+		{b, 5000, 800, 1, 99},
+	}
+	for i, r := range runs {
+		if err := sim.Reset(r.cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Simulate(r.rate, r.n, r.perf, r.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Simulate(r.cfg, r.rate, r.n, r.perf, r.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("run %d diverged from one-shot Simulate:\n%+v\nvs\n%+v", i, got, want)
+		}
+	}
+	// The reusable path must reject the same bad inputs.
+	if err := sim.Reset(Config{}); err == nil {
+		t.Fatal("Reset accepted an invalid config")
+	}
+	if _, err := sim.Simulate(0, 100, 1, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewSimulator(Config{}); err == nil {
+		t.Fatal("NewSimulator accepted an invalid config")
+	}
+	var unconfigured Simulator
+	if _, err := unconfigured.Simulate(100, 1000, 1, 1); err == nil {
+		t.Fatal("zero-value Simulator simulated without a Reset")
+	}
+}
+
 // BenchmarkSimulate exercises the hot loop at several worker-pool widths;
 // the Workers=64 case is the regression guard for the former
-// O(requests × workers) queue-depth rescan.
+// O(requests × workers) queue-depth rescan, and the reused-Simulator cases
+// are the allocation guard for the fleet engine's per-window path.
 func BenchmarkSimulate(b *testing.B) {
 	for _, workers := range []int{8, 64} {
 		c := Config{
@@ -170,8 +230,24 @@ func BenchmarkSimulate(b *testing.B) {
 		}
 		rate := float64(workers) * 1000 / c.MeanServiceMs * 0.8
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Simulate(c, rate, 10000, 1, uint64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("workers=%d/reused", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			sim, err := NewSimulator(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if err := sim.Reset(c); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Simulate(rate, 10000, 1, uint64(i)+1); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -79,6 +79,13 @@ func (s *Sample) Add(x float64) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Reset discards all observations while keeping the underlying buffer, so
+// hot loops can reuse one Sample across windows without reallocating.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+}
+
 // Mean returns the sample mean.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {

@@ -74,6 +74,29 @@ func TestSampleEmptyAndInterleaved(t *testing.T) {
 	}
 }
 
+// TestSampleReset pins the buffer-reuse contract the fleet hot loop and
+// queueing.Simulator rely on: after Reset a Sample behaves exactly like a
+// fresh one (including the NaN-safe zero quantiles of an empty sample)
+// without reallocating.
+func TestSampleReset(t *testing.T) {
+	s := NewSample(8)
+	for i := 0; i < 8; i++ {
+		s.Add(float64(i))
+	}
+	if s.Quantile(1) != 7 {
+		t.Fatal("pre-reset quantile wrong")
+	}
+	s.Reset()
+	if s.N() != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("reset sample not empty: n=%d q=%v", s.N(), s.Quantile(0.99))
+	}
+	s.Add(3)
+	s.Add(1)
+	if s.Quantile(0.5) != 2 || s.N() != 2 {
+		t.Fatalf("post-reset stats wrong: %v over %d", s.Quantile(0.5), s.N())
+	}
+}
+
 func TestQuantileOrderingProperty(t *testing.T) {
 	if err := quick.Check(func(xs []float64) bool {
 		clean := xs[:0]

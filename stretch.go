@@ -22,10 +22,13 @@
 //     Constant/Ramp/Diurnal/Burst arrival shapes) feeding a sharded
 //     datacenter-scale simulation of thousands of controller-governed SMT
 //     cores (Fleet, FleetConfig) — the §VI-D cluster studies scaled from
-//     one core to a fleet — scheduled by a pluggable policy (Scheduler:
-//     static, elastic proportional, power-of-two-choices) under replayable
-//     scenario events (FleetScenario: server drains and restores, traffic
-//     surges, heterogeneous server generations).
+//     one core to a fleet — executed window-major with a measurement
+//     barrier per window, scheduled by a pluggable stepped policy
+//     (Scheduler: static, elastic proportional, power-of-two-choices, and
+//     closed-loop feedback on measured tails) under replayable scenario
+//     events (FleetScenario: server drains and restores, traffic surges,
+//     heterogeneous server generations), with the per-window fleet series
+//     exposed as FleetResult.WindowTrace.
 //
 // Quick start:
 //
@@ -296,8 +299,9 @@ func VideoDay() [24]float64 { return loadgen.VideoDay() }
 
 // Scheduler tunes the fleet's core-allocation and load-routing policy:
 // the static Fraction split, elastic proportional reallocation (with
-// hysteresis, min-core floors and a migration penalty), or
-// power-of-two-choices routing.
+// hysteresis, min-core floors and a migration penalty),
+// power-of-two-choices routing, or closed-loop feedback reallocation
+// driven by each window's measured tails.
 type Scheduler = fleet.SchedulerConfig
 
 // SchedulerPolicy names a fleet scheduling policy.
@@ -313,10 +317,24 @@ const (
 	// PolicyP2C allocates like PolicyProportional but routes each
 	// window's load with power-of-two-choices instead of an even split.
 	PolicyP2C = fleet.PolicyP2C
+	// PolicyFeedback closes the loop: it allocates like
+	// PolicyProportional but weights each client's demand by the previous
+	// window's measured violations and slack, stealing cores from
+	// slack-rich clients for violating ones.
+	PolicyFeedback = fleet.PolicyFeedback
 )
 
-// ParseSchedulerPolicy resolves a policy name (static|proportional|p2c).
+// ParseSchedulerPolicy resolves a policy name
+// (static|proportional|p2c|feedback).
 func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetWindowObservation is one window's measured fleet record: the
+// feedback handed to the closed-loop scheduler after each window barrier,
+// and the per-window entry of FleetResult.WindowTrace.
+type FleetWindowObservation = fleet.WindowObservation
+
+// FleetClientWindowObs is one client's aggregate within a single window.
+type FleetClientWindowObs = fleet.ClientWindowObs
 
 // FleetEvent is one scenario incident: a server drain/restore, a traffic
 // surge redirected onto a client, or a server pinned at an older hardware
