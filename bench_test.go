@@ -146,25 +146,30 @@ func BenchmarkQueueing(b *testing.B) {
 	}
 }
 
-// BenchmarkFleet1kCores seeds the fleet-scale perf trajectory: ~1k
-// controller-governed SMT cores drain a diurnal web-search day, reporting
-// simulated request throughput.
-func BenchmarkFleet1kCores(b *testing.B) {
-	const nCores = 63 * 16 // 1008
-	cfg := FleetConfig{
-		Servers: 63, CoresPerServer: 16,
+// benchFleetConfig is the shared fleet-scale benchmark shape: servers×16
+// controller-governed SMT cores draining a diurnal web-search day.
+func benchFleetConfig(servers int, est TailEstimator) FleetConfig {
+	nCores := servers * 16
+	return FleetConfig{
+		Servers: servers, CoresPerServer: 16,
 		Traffic: Traffic{
 			Windows: 6, WindowSec: 4 * 3600,
 			Clients: []TrafficClient{{
 				Name: "search", Service: WebSearch, Fraction: 1,
 				Spec: ArrivalSpec{Shape: Diurnal{
-					HourLoad: WebSearchDay(), PeakRPS: nCores * 700,
+					HourLoad: WebSearchDay(), PeakRPS: float64(nCores) * 700,
 				}, Poisson: true},
 			}},
 		},
 		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
 		WindowRequests: 120, Seed: 1,
+		TailEstimator: est,
 	}
+}
+
+func benchFleet(b *testing.B, cfg FleetConfig) {
+	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var requests float64
 	for i := 0; i < b.N; i++ {
@@ -176,4 +181,22 @@ func BenchmarkFleet1kCores(b *testing.B) {
 		requests += float64(res.Cores) * float64(res.Windows) * float64(cfg.WindowRequests)
 	}
 	b.ReportMetric(requests/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkFleet1kCores is the fleet-scale perf trajectory under the
+// default (histogram) tail estimator: ~1k cores, one diurnal day.
+func BenchmarkFleet1kCores(b *testing.B) {
+	benchFleet(b, benchFleetConfig(63, EstimatorDefault)) // 1008 cores
+}
+
+// BenchmarkFleetExact1kCores guards the exact-estimator path (sorted
+// samples at every level), which small accuracy-sensitive runs still use.
+func BenchmarkFleetExact1kCores(b *testing.B) {
+	benchFleet(b, benchFleetConfig(63, EstimatorExact))
+}
+
+// BenchmarkFleet10kCores is the scale target the mergeable histograms
+// enable: 10000 cores with memory independent of the request count.
+func BenchmarkFleet10kCores(b *testing.B) {
+	benchFleet(b, benchFleetConfig(625, EstimatorDefault)) // 10000 cores
 }

@@ -9,6 +9,7 @@ import (
 
 	"stretch/internal/fleet"
 	"stretch/internal/loadgen"
+	"stretch/internal/stats"
 	"stretch/internal/workload"
 )
 
@@ -18,6 +19,7 @@ type fleetParams struct {
 	trace          string
 	policy         string
 	events         string
+	estimator      string
 	hours          float64
 	wph, windowReq int
 	seed           uint64
@@ -45,6 +47,10 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 	}
 
 	policy, err := fleet.ParsePolicy(p.policy)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	estimator, err := stats.ParseTailEstimator(p.estimator)
 	if err != nil {
 		return fleet.Config{}, err
 	}
@@ -165,8 +171,9 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 		Traffic:       loadgen.Traffic{Clients: clients, Windows: windows, WindowSec: windowSec},
 		BatchSpeedupB: p.bSpeedup, LSSlowdownB: p.lsSlowdown,
 		WindowRequests: p.windowReq, Workers: p.workers, Seed: p.seed,
-		Scheduler: fleet.SchedulerConfig{Policy: policy},
-		Scenario:  scenario,
+		TailEstimator: estimator,
+		Scheduler:     fleet.SchedulerConfig{Policy: policy},
+		Scenario:      scenario,
 	}, nil
 }
 
@@ -220,6 +227,13 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 		fmt.Fprintf(&b, "%-10s %-16s %-9s %6d %12.1f %12.1f %7d/%-5d %10.0f\n",
 			cm.Client, cm.Service, cm.SLO, cm.Cores, cm.P99Ms, cm.P999Ms,
 			cm.ViolationWindows, cm.CoreWindows, cm.EngagedCoreHours)
+	}
+	// The fleet-wide tail line is part of the histogram-estimator report
+	// only, so pre-histogram golden files for the exact estimator keep
+	// reproducing byte-identically.
+	if res.TailEstimator == stats.EstimatorHistogram {
+		fmt.Fprintf(&b, "fleet-wide tail over all serving core-windows: p99 %.1f ms, p99.9 %.1f ms (histogram estimator)\n",
+			res.FleetP99Ms, res.FleetP999Ms)
 	}
 	fmt.Fprintf(&b, "\nengaged %.0f of %.0f core-hours (%.0f%%), %d controller switches\n",
 		res.EngagedCoreHours, res.TotalCoreHours, 100*res.EngagedCoreHours/res.TotalCoreHours,

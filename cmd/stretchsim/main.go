@@ -9,6 +9,7 @@
 //	stretchsim -experiment all [-scale quick]
 //	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed]
 //	           [-policy static|proportional|p2c|feedback] [-events "drain:24:0,..."]
+//	           [-tail-estimator histogram|exact]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
 //	           [-seed 1] [-fleet-workers 0] [-window-trace]
 package main
@@ -34,6 +35,7 @@ func main() {
 		cores      = flag.Int("cores", 16, "fleet: SMT cores per server")
 		traceName  = flag.String("trace", "mixed", "fleet: traffic spec (websearch|video|mixed|failover)")
 		policy     = flag.String("policy", "static", "fleet: scheduler policy (static|proportional|p2c|feedback)")
+		estimator  = flag.String("tail-estimator", "histogram", "fleet: tail quantile estimator (histogram|exact)")
 		events     = flag.String("events", "", "fleet: scenario events, e.g. \"drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85\" (failover trace has a built-in default)")
 		hours      = flag.Float64("hours", 24, "fleet: horizon in hours")
 		wph        = flag.Int("windows-per-hour", 4, "fleet: monitoring windows per hour")
@@ -49,7 +51,7 @@ func main() {
 	if *fleetMode {
 		runFleet(fleetParams{
 			servers: *servers, cores: *cores, trace: *traceName,
-			policy: *policy, events: *events,
+			policy: *policy, events: *events, estimator: *estimator,
 			hours: *hours, wph: *wph, windowReq: *windowReq,
 			seed: *seed, workers: *fleetWork,
 			bSpeedup: *bSpeedup, lsSlowdown: *lsSlowdown,

@@ -2,7 +2,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -14,11 +13,14 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 
 // goldenParams is a small but non-trivial fleet: big enough for the
 // failover scenario to drain a whole server and for every client to hold
-// multiple cores, small enough to keep the test fast.
+// multiple cores, small enough to keep the test fast. The pre-histogram
+// golden files were blessed under the exact estimator, so it stays pinned
+// here; histogram cases override it.
 func goldenParams(trace, policy string) fleetParams {
 	return fleetParams{
 		servers: 4, cores: 4, trace: trace, policy: policy,
-		hours: 6, wph: 4, windowReq: 150, seed: 1,
+		estimator: "exact",
+		hours:     6, wph: 4, windowReq: 150, seed: 1,
 		bSpeedup: 0.13, lsSlowdown: 0.07,
 	}
 }
@@ -28,26 +30,41 @@ func goldenParams(trace, policy string) fleetParams {
 // golden files, so refactors cannot silently shift the paper-facing
 // numbers. Run with -update to rebless after an intentional change. The
 // feedback failover case runs the full 24h day: the closed loop only has
-// violations to react to once the diurnal peak is in the horizon.
+// violations to react to once the diurnal peak is in the horizon. Cases
+// with estimator "histogram" lock the mergeable-histogram tail path,
+// including the fleet-wide tail line it adds to the report; the exact
+// cases' files predate the histogram estimator and must keep reproducing
+// byte-identically.
 func TestFleetGolden(t *testing.T) {
 	cases := []struct {
 		trace, policy string
 		hours         float64
+		estimator     string
 	}{
-		{"websearch", "static", 0},
-		{"video", "static", 0},
-		{"mixed", "static", 0},
-		{"mixed", "proportional", 0},
-		{"mixed", "p2c", 0},
-		{"failover", "proportional", 0},
-		{"mixed", "feedback", 0},
-		{"failover", "feedback", 24},
+		{"websearch", "static", 0, ""},
+		{"video", "static", 0, ""},
+		{"mixed", "static", 0, ""},
+		{"mixed", "proportional", 0, ""},
+		{"mixed", "p2c", 0, ""},
+		{"failover", "proportional", 0, ""},
+		{"mixed", "feedback", 0, ""},
+		{"failover", "feedback", 24, ""},
+		{"mixed", "static", 0, "histogram"},
+		{"mixed", "feedback", 0, "histogram"},
+		{"failover", "feedback", 24, "histogram"},
 	}
 	for _, tc := range cases {
-		t.Run(tc.trace+"_"+tc.policy, func(t *testing.T) {
+		name := tc.trace + "_" + tc.policy
+		if tc.estimator != "" {
+			name += "_" + tc.estimator
+		}
+		t.Run(name, func(t *testing.T) {
 			p := goldenParams(tc.trace, tc.policy)
 			if tc.hours != 0 {
 				p.hours = tc.hours
+			}
+			if tc.estimator != "" {
+				p.estimator = tc.estimator
 			}
 			cfg, err := buildFleetConfig(p)
 			if err != nil {
@@ -58,7 +75,7 @@ func TestFleetGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			got := formatFleetResult(p, cfg, res)
-			path := filepath.Join("testdata", fmt.Sprintf("%s_%s.golden", tc.trace, tc.policy))
+			path := filepath.Join("testdata", name+".golden")
 			if *update {
 				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 					t.Fatal(err)
@@ -181,6 +198,7 @@ func TestBuildFleetConfigRejectsBadInput(t *testing.T) {
 		func(p *fleetParams) { p.policy = "nope" },
 		func(p *fleetParams) { p.events = "drain:banana" },
 		func(p *fleetParams) { p.hours = 0 },
+		func(p *fleetParams) { p.estimator = "nope" },
 	}
 	for i, mutate := range bad {
 		p := goldenParams("mixed", "static")

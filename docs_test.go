@@ -1,0 +1,74 @@
+package stretch
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target) with an
+// optional title. Autolinks and reference-style definitions are out of
+// scope — the repo's docs use inline links.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// TestDocsRelativeLinks fails on broken relative links in any *.md file in
+// the repository, so docs cannot silently rot as files move. External
+// (http/https/mailto) links and pure fragments are skipped; a relative
+// link's target (with any #fragment stripped) must exist on disk relative
+// to the file that contains it. CI runs this as its docs gate.
+func TestDocsRelativeLinks(t *testing.T) {
+	root := "."
+	var mds []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// SNIPPETS.md and PAPERS.md quote external repositories and papers
+		// verbatim; links inside quoted material are not ours to fix.
+		if base := filepath.Base(path); base == "SNIPPETS.md" || base == "PAPERS.md" {
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			mds = append(mds, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mds) == 0 {
+		t.Fatal("no markdown files found; is the test running from the repo root?")
+	}
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

@@ -4,6 +4,10 @@
 // and a per-thread return address stack. Prediction tables may be shared
 // between hardware threads (the SMT baseline) or private (the fig. 4/5/13
 // idealisations); history registers are always per-thread, as in the paper.
+//
+// Invariant: predictor state is a pure function of the update sequence —
+// no randomness, no time dependence — so any fetch schedule replays to
+// identical predictions.
 package branch
 
 // Config sizes the predictor.

@@ -5,6 +5,12 @@
 //
 // The package models hit/miss behaviour and occupancy; latencies are
 // composed by the core, which owns the cycle clock.
+//
+// Invariant: every structure is deterministic (LRU state depends only on
+// the access sequence) and single-threaded by design — each modelled core
+// owns its hierarchy exclusively, so cross-thread interference is always
+// explicit (shared LLC partitions, per-thread MSHR budgets), never
+// accidental.
 package cache
 
 // Config sizes one cache array.

@@ -4,6 +4,10 @@
 // equal partitioning, Stretch B-/Q-mode skews, dynamic sharing, fetch
 // throttling, single-resource sharing studies, idealised software
 // scheduling) and normalises against solo full-core baselines.
+//
+// Invariant: every grid cell is a pure function of (workload pair, core
+// config, sampling spec) — memoisation in the experiment context can only
+// skip work, never change a number.
 package colocate
 
 import (

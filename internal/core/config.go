@@ -15,6 +15,11 @@
 // younger with a 12-cycle redirect penalty, replaying the squashed µops as
 // the correct path. Stretch mode switches squash both threads the same way
 // (§IV-C's "pipeline flush in both threads").
+//
+// Invariant: the core model contains no randomness of its own — given the
+// same configuration and the same µop streams, the cycle loop is fully
+// deterministic, which is what lets sampled measurements reproduce
+// bit-identically from their seeds.
 package core
 
 import (

@@ -3,6 +3,11 @@
 // constructor returning a printable Table plus a set of named headline
 // metrics that the test suite asserts qualitative shapes on and
 // EXPERIMENTS.md records against the paper's numbers.
+//
+// Invariant: every artifact is a pure function of its Scale and the
+// built-in seeds — regenerating an artifact is bit-reproducible, and the
+// shared memoised grids in Context only deduplicate work across artifacts,
+// never alter any cell.
 package experiments
 
 import (

@@ -23,10 +23,21 @@
 // through the request-level queueing model at the perf factor its current
 // mode implies, feeds the measured tail to its controller, and credits the
 // colocated batch thread relative to equal partitioning (B-mode gains,
-// Q-mode pays). Results aggregate into fleet-wide tails (p99/p99.9 over
-// core-window tails), QoS-violation window counts, engaged-core-hours,
-// batch core-hours gained versus an equal-partitioning deployment, and the
-// per-window fleet series in Result.WindowTrace.
+// Q-mode pays). Results aggregate into per-client and fleet-wide tails
+// (p99/p99.9 over core-window tails), QoS-violation window counts,
+// engaged-core-hours, batch core-hours gained versus an equal-partitioning
+// deployment, and the per-window fleet series in Result.WindowTrace.
+//
+// Tail quantiles are estimated by Config.TailEstimator. The default is
+// the mergeable log-bucketed histogram (stats.Histogram): each worker
+// records its cores' window tails into per-client shards, and the barrier
+// merges shards into per-client window, per-client run and fleet-wide
+// histograms — integer bucket counts merge associatively, so the
+// nondeterministic core-to-worker mapping cannot perturb any aggregate,
+// and memory stays constant in the request count (the enabler for
+// 10k+-core runs). The exact estimator retains every core-window tail in
+// sorted samples instead; it reproduces the pre-histogram golden files
+// byte-identically and serves as the accuracy reference.
 //
 // Which client a core serves each window — and at what rate — is decided
 // by the scheduler (see scheduler.go): the static Fraction split, elastic
@@ -85,6 +96,20 @@ type Config struct {
 	// (SLO-scaled) tail target; nil uses monitor.DefaultConfig.
 	Monitor func(targetMs float64) monitor.Config
 
+	// TailEstimator selects how tail quantiles are estimated, at every
+	// level: per-request latencies inside each core-window simulation,
+	// per-client window tails at the barrier, and the per-client and
+	// fleet-wide aggregates. stats.EstimatorHistogram (the default —
+	// stats.EstimatorDefault resolves to it here) records into fixed
+	// log-bucketed histograms that merge across worker shards: O(1) per
+	// observation, memory independent of the request count, quantile error
+	// bounded by the bucket resolution. stats.EstimatorExact retains every
+	// observation and sorts per query — exact, but memory and tail-query
+	// cost grow linearly with requests; use it for small runs and accuracy
+	// comparisons. Either way results are bit-identical across worker
+	// counts for identical seeds.
+	TailEstimator stats.TailEstimator
+
 	// Scheduler selects the core-allocation and load-routing policy; the
 	// zero value is the static Fraction split.
 	Scheduler SchedulerConfig
@@ -118,6 +143,9 @@ func (c Config) Validate() error {
 	}
 	if c.WindowRequests < 0 {
 		return fmt.Errorf("fleet: negative window request budget")
+	}
+	if err := c.TailEstimator.Validate(); err != nil {
+		return err
 	}
 	for _, cl := range c.Traffic.Clients {
 		if _, ok := workload.Services()[cl.Service]; !ok {
@@ -200,9 +228,16 @@ type Result struct {
 
 	// Policy echoes the scheduler policy the run used.
 	Policy Policy
+	// TailEstimator echoes the resolved tail estimator the run used.
+	TailEstimator stats.TailEstimator
 
 	// Clients holds per-client aggregates in traffic order.
 	Clients []ClientMetrics
+
+	// FleetP99Ms and FleetP999Ms are fleet-wide quantiles over every
+	// serving core-window tail, across all clients — the datacenter-level
+	// tail report that per-client metrics cannot express.
+	FleetP99Ms, FleetP999Ms float64
 
 	// TotalCoreHours is Cores × horizon.
 	TotalCoreHours float64
@@ -238,9 +273,12 @@ type Result struct {
 // coreState is one core's persistent execution state: its controller (and
 // the client it was built for) survives across windows instead of being
 // rebuilt per core-walk; it resets only when the scheduler hands the core
-// to a different client — a handed-over core is a cold start.
+// to a different client — a handed-over core is a cold start. The
+// controller is held by value and reinitialised in place, so a fleet of N
+// cores pays no per-controller heap allocations.
 type coreState struct {
-	ctl      *monitor.Controller
+	ctl      monitor.Controller
+	hasCtl   bool  // ctl has been initialised at least once
 	prev     int16 // client the controller was built for (-3: none yet)
 	switches uint64
 }
@@ -258,7 +296,7 @@ type engine struct {
 	targets []float64
 	qcfgs   []queueing.Config
 	perf    []float64
-	streams []*rng.Stream
+	streams []rng.Stream
 	states  []coreState
 
 	tails    []float64
@@ -267,9 +305,21 @@ type engine struct {
 	client   []int16
 	errs     []error
 
-	// winSamples holds one reusable per-client sample for the window
-	// observation's tail quantile, filled and drained at each barrier.
+	// Exact estimator: winSamples holds one reusable per-client sample for
+	// the window observation's tail quantile, filled and drained at each
+	// barrier.
 	winSamples []*stats.Sample
+
+	// Histogram estimator: each worker records its cores' window tails
+	// into its own per-client shard (shards[worker][client]); the barrier
+	// merges shards into winHists for the window quantile, then folds them
+	// into the per-client runHists and the fleet-wide fleetHist. All share
+	// one geometry, and integer bucket counts merge associatively, so the
+	// aggregate is bit-identical regardless of how cores land on workers.
+	shards    [][]*stats.Histogram
+	winHists  []*stats.Histogram
+	runHists  []*stats.Histogram
+	fleetHist *stats.Histogram
 }
 
 // Run simulates the fleet over the traffic horizon.
@@ -291,6 +341,10 @@ func Run(cfg Config) (Result, error) {
 	if monCfg == nil {
 		monCfg = monitor.DefaultConfig
 	}
+	est := cfg.TailEstimator
+	if est == stats.EstimatorDefault {
+		est = stats.EstimatorHistogram
+	}
 	sched := cfg.Scheduler.withDefaults()
 
 	timelines, err := cfg.Traffic.Timelines(cfg.Seed)
@@ -309,6 +363,7 @@ func Run(cfg Config) (Result, error) {
 			Workers: svc.Workers, MeanServiceMs: svc.MeanServiceMs,
 			ServiceCV: svc.ServiceCV, BurstProb: svc.BurstProb, BurstLen: svc.BurstLen,
 			QoSQuantile: svc.QoSQuantile, QoSTargetMs: targets[ci],
+			Estimator: est,
 		}
 	}
 
@@ -333,22 +388,17 @@ func Run(cfg Config) (Result, error) {
 		targets:  targets,
 		qcfgs:    qcfgs,
 		perf:     make([]float64, nCores),
-		streams:  make([]*rng.Stream, nCores),
+		streams:  make([]rng.Stream, nCores),
 		states:   make([]coreState, nCores),
 		tails:    make([]float64, nCores*windows),
 		batchRel: make([]float64, nCores*windows),
 		modeB:    make([]bool, nCores*windows),
 		client:   make([]int16, nCores*windows),
 		errs:     make([]error, nCores),
-
-		winSamples: make([]*stats.Sample, n),
-	}
-	for ci := range e.winSamples {
-		e.winSamples[ci] = stats.NewSample(nCores)
 	}
 	for c := 0; c < nCores; c++ {
 		e.perf[c] = perfGen[c/cfg.CoresPerServer]
-		e.streams[c] = root.Derive(uint64(c))
+		e.streams[c] = *root.Derive(uint64(c))
 		e.states[c] = coreState{prev: -3} // matches no client and no sentinel
 	}
 
@@ -365,6 +415,27 @@ func Run(cfg Config) (Result, error) {
 	for i := range sims {
 		sims[i] = new(queueing.Simulator)
 	}
+	if est == stats.EstimatorHistogram {
+		e.shards = make([][]*stats.Histogram, workers)
+		for wk := range e.shards {
+			e.shards[wk] = make([]*stats.Histogram, n)
+			for ci := range e.shards[wk] {
+				e.shards[wk][ci] = stats.NewTailHistogram()
+			}
+		}
+		e.winHists = make([]*stats.Histogram, n)
+		e.runHists = make([]*stats.Histogram, n)
+		for ci := 0; ci < n; ci++ {
+			e.winHists[ci] = stats.NewTailHistogram()
+			e.runHists[ci] = stats.NewTailHistogram()
+		}
+		e.fleetHist = stats.NewTailHistogram()
+	} else {
+		e.winSamples = make([]*stats.Sample, n)
+		for ci := range e.winSamples {
+			e.winSamples[ci] = stats.NewSample(nCores)
+		}
+	}
 
 	var (
 		obs      *WindowObservation
@@ -379,17 +450,21 @@ func Run(cfg Config) (Result, error) {
 		var next int64 = -1
 		var wg sync.WaitGroup
 		for wk := 0; wk < workers; wk++ {
+			var shard []*stats.Histogram
+			if e.shards != nil {
+				shard = e.shards[wk]
+			}
 			wg.Add(1)
-			go func(sim *queueing.Simulator) {
+			go func(sim *queueing.Simulator, shard []*stats.Histogram) {
 				defer wg.Done()
 				for {
 					c := int(atomic.AddInt64(&next, 1))
 					if c >= nCores {
 						return
 					}
-					e.stepCore(c, w, asg, sim)
+					e.stepCore(c, w, asg, sim, shard)
 				}
-			}(sims[wk])
+			}(sims[wk], shard)
 		}
 		wg.Wait()
 		for c := 0; c < nCores; c++ {
@@ -423,6 +498,7 @@ func Run(cfg Config) (Result, error) {
 	res := Result{
 		Cores: nCores, Windows: windows, WindowSec: cfg.Traffic.WindowSec,
 		Policy:             sched.Policy,
+		TailEstimator:      est,
 		TotalCoreHours:     float64(nCores) * cfg.Traffic.Hours(),
 		Migrations:         migrations,
 		DrainedCoreWindows: drainedCoreWindows,
@@ -430,10 +506,20 @@ func Run(cfg Config) (Result, error) {
 		WindowTrace:        winTrace,
 	}
 	windowHours := cfg.Traffic.WindowSec / 3600
-	perClient := make([]*stats.Sample, n)
+	// Under the exact estimator the per-client and fleet-wide tails need
+	// every core-window tail retained and sorted; the histogram estimator
+	// already folded them into runHists/fleetHist at the barriers.
+	var perClient []*stats.Sample
+	var fleetSample *stats.Sample
+	if est == stats.EstimatorExact {
+		perClient = make([]*stats.Sample, n)
+		for ci := range perClient {
+			perClient[ci] = stats.NewSample(initialCores[ci] * windows)
+		}
+		fleetSample = stats.NewSample(nCores * windows)
+	}
 	cms := make([]ClientMetrics, n)
 	for ci, cl := range cfg.Traffic.Clients {
-		perClient[ci] = stats.NewSample(initialCores[ci] * windows)
 		cms[ci] = ClientMetrics{
 			Client: cl.Name, Service: cl.Service, SLO: cl.SLO,
 			Cores: initialCores[ci], TargetMs: targets[ci],
@@ -448,7 +534,10 @@ func Run(cfg Config) (Result, error) {
 			}
 			cm := &cms[ci]
 			t := e.tails[idx]
-			perClient[ci].Add(t)
+			if perClient != nil {
+				perClient[ci].Add(t)
+				fleetSample.Add(t)
+			}
 			cm.CoreWindows++
 			if t > targets[ci] {
 				cm.ViolationWindows++
@@ -459,18 +548,30 @@ func Run(cfg Config) (Result, error) {
 			res.BatchCoreHoursGained += (e.batchRel[idx] - 1) * windowHours
 		}
 		sw := e.states[c].switches
-		if ctl := e.states[c].ctl; ctl != nil {
-			sw += ctl.Switches()
+		if st := &e.states[c]; st.hasCtl {
+			sw += st.ctl.Switches()
 		}
 		res.Switches += sw
 	}
 	for ci := range cms {
-		// A client squeezed to zero core-windows has an empty sample;
-		// Quantile reports 0 for it, never NaN.
-		cms[ci].P99Ms = perClient[ci].Quantile(0.99)
-		cms[ci].P999Ms = perClient[ci].Quantile(0.999)
+		// A client squeezed to zero core-windows has an empty sample or
+		// histogram; Quantile reports 0 for it, never NaN.
+		if perClient != nil {
+			cms[ci].P99Ms = perClient[ci].Quantile(0.99)
+			cms[ci].P999Ms = perClient[ci].Quantile(0.999)
+		} else {
+			cms[ci].P99Ms = e.runHists[ci].Quantile(0.99)
+			cms[ci].P999Ms = e.runHists[ci].Quantile(0.999)
+		}
 		res.ViolationWindows += cms[ci].ViolationWindows
 		res.EngagedCoreHours += cms[ci].EngagedCoreHours
+	}
+	if fleetSample != nil {
+		res.FleetP99Ms = fleetSample.Quantile(0.99)
+		res.FleetP999Ms = fleetSample.Quantile(0.999)
+	} else {
+		res.FleetP99Ms = e.fleetHist.Quantile(0.99)
+		res.FleetP999Ms = e.fleetHist.Quantile(0.999)
 	}
 	res.Clients = cms
 	res.BatchGain = res.BatchCoreHoursGained / res.TotalCoreHours
@@ -480,8 +581,10 @@ func Run(cfg Config) (Result, error) {
 // stepCore advances one SMT core through one window: simulate the window's
 // arrivals at the engaged mode's perf factor (scaled by the server's
 // generation and any migration penalty), feed the measured tail to the
-// core's persistent controller, credit the batch thread.
-func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator) {
+// core's persistent controller, credit the batch thread, and — under the
+// histogram estimator — record the tail into the worker's per-client shard
+// for the barrier merge.
+func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, shard []*stats.Histogram) {
 	idx := c*e.windows + w
 	ci := asg.Client[c]
 	e.client[idx] = ci
@@ -497,15 +600,14 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator) {
 		return
 	}
 	if ci != st.prev {
-		if st.ctl != nil {
+		if st.hasCtl {
 			st.switches += st.ctl.Switches()
 		}
-		ctl, err := monitor.New(e.monCfg(e.targets[ci]))
-		if err != nil {
+		if err := st.ctl.Reset(e.monCfg(e.targets[ci])); err != nil {
 			e.errs[c] = err
 			return
 		}
-		st.ctl = ctl
+		st.hasCtl = true
 		st.prev = ci
 	}
 	mode := st.ctl.Mode()
@@ -533,6 +635,9 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator) {
 	// An idle window (a Poisson draw of zero arrivals) reads as zero
 	// tail: maximal slack.
 	e.tails[idx] = tail
+	if shard != nil {
+		shard[ci].Add(tail)
+	}
 	switch mode {
 	case core.ModeB:
 		e.modeB[idx] = true
@@ -585,18 +690,42 @@ func (e *engine) observe(w int, asg Assignment) WindowObservation {
 			if asg.Migrated[c] {
 				o.Migrations++
 			}
-			e.winSamples[cl].Add(t)
+			if e.winSamples != nil {
+				e.winSamples[cl].Add(t)
+			}
+		}
+	}
+	if e.shards != nil {
+		// Merge the workers' per-client shards (in worker order — though
+		// integer counts make any order equivalent) into the window
+		// histograms, fold those into the horizon aggregates, and hand the
+		// cleared shards back to the next window.
+		for _, shard := range e.shards {
+			for ci, h := range shard {
+				e.winHists[ci].Merge(h)
+				h.Reset()
+			}
 		}
 	}
 	for ci := range o.Clients {
 		co := &o.Clients[ci]
+		if e.winHists != nil {
+			if co.Cores > 0 {
+				co.TailP99Ms = e.winHists[ci].Quantile(0.99)
+			}
+			e.runHists[ci].Merge(e.winHists[ci])
+			e.fleetHist.Merge(e.winHists[ci])
+			e.winHists[ci].Reset()
+		}
 		if co.Cores == 0 {
 			continue
 		}
 		co.MeanTailMs /= float64(co.Cores)
 		co.MeanSlack /= float64(co.Cores)
-		co.TailP99Ms = e.winSamples[ci].Quantile(0.99)
-		e.winSamples[ci].Reset()
+		if e.winSamples != nil {
+			co.TailP99Ms = e.winSamples[ci].Quantile(0.99)
+			e.winSamples[ci].Reset()
+		}
 	}
 	return o
 }

@@ -8,6 +8,7 @@ import (
 	"stretch/internal/core"
 	"stretch/internal/loadgen"
 	"stretch/internal/monitor"
+	"stretch/internal/stats"
 	"stretch/internal/workload"
 )
 
@@ -361,5 +362,77 @@ func TestPeakRPSPerCore(t *testing.T) {
 	}
 	if _, err := PeakRPSPerCore("nope", 2000, 1); err == nil {
 		t.Fatal("unknown service accepted")
+	}
+}
+
+// TestTailEstimatorHistogramTracksExact is the fleet-level accuracy check:
+// the histogram estimator (the default) must reproduce the exact
+// estimator's client and fleet-wide tails within the compounded bucket
+// resolution — the per-window QoS quantile and the aggregate quantile each
+// contribute at most one bucket width of error.
+func TestTailEstimatorHistogramTracksExact(t *testing.T) {
+	ex := lowLoadConfig()
+	ex.TailEstimator = stats.EstimatorExact
+	hist := lowLoadConfig() // zero value: EstimatorDefault resolves to histogram
+	a, err := Run(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TailEstimator != stats.EstimatorExact || b.TailEstimator != stats.EstimatorHistogram {
+		t.Fatalf("estimator echo wrong: %v / %v", a.TailEstimator, b.TailEstimator)
+	}
+	// Two quantisation levels compound: per-window QoS quantile plus the
+	// aggregate quantile over window tails.
+	tol := 2 * 2 * stats.NewTailHistogram().Resolution()
+	rel := func(got, want float64) float64 { return math.Abs(got-want) / want }
+	for _, pair := range [][2]float64{
+		{b.Clients[0].P99Ms, a.Clients[0].P99Ms},
+		{b.Clients[0].P999Ms, a.Clients[0].P999Ms},
+		{b.FleetP99Ms, a.FleetP99Ms},
+		{b.FleetP999Ms, a.FleetP999Ms},
+	} {
+		if pair[1] <= 0 {
+			t.Fatalf("degenerate exact tail %v", pair[1])
+		}
+		if r := rel(pair[0], pair[1]); r > tol {
+			t.Errorf("histogram tail %v vs exact %v: relative error %.3f > %.3f",
+				pair[0], pair[1], r, tol)
+		}
+	}
+	// The estimator changes how tails are summarised, never what was
+	// simulated: mode decisions at 30% load sit far from any threshold, so
+	// the physical aggregates must agree exactly.
+	if a.EngagedCoreHours != b.EngagedCoreHours || a.BatchCoreHoursGained != b.BatchCoreHoursGained ||
+		a.Switches != b.Switches || a.ViolationWindows != b.ViolationWindows {
+		t.Fatalf("estimator perturbed physical aggregates:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestFleetWideTailsOrdered checks the new datacenter-level tail report:
+// populated under both estimators, with p99.9 at or above p99 and at or
+// above every client's share-weighted contribution floor of 0.
+func TestFleetWideTailsOrdered(t *testing.T) {
+	for _, est := range []stats.TailEstimator{stats.EstimatorExact, stats.EstimatorHistogram} {
+		cfg := lowLoadConfig()
+		cfg.TailEstimator = est
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FleetP99Ms <= 0 || res.FleetP999Ms < res.FleetP99Ms {
+			t.Fatalf("%v: fleet tails wrong: p99=%v p99.9=%v", est, res.FleetP99Ms, res.FleetP999Ms)
+		}
+	}
+}
+
+func TestFleetRejectsUnknownEstimator(t *testing.T) {
+	cfg := lowLoadConfig()
+	cfg.TailEstimator = stats.TailEstimator(7)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown estimator accepted")
 	}
 }

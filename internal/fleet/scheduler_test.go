@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"stretch/internal/loadgen"
+	"stretch/internal/stats"
 	"stretch/internal/workload"
 )
 
@@ -489,7 +490,9 @@ func TestProportionalBeatsStaticOnMixedDay(t *testing.T) {
 
 // --- Determinism: full-Result DeepEqual (including WindowTrace) across
 // worker counts for every policy — closed-loop feedback included — with
-// and without scenario events.
+// and without scenario events, under both tail estimators. The histogram
+// estimator's sharded barrier merge must be exactly as worker-count-
+// independent as the exact estimator's core-ordered sample.
 
 func TestSchedulerDeterministicAcrossWorkerCounts(t *testing.T) {
 	scenario := loadgen.Scenario{Events: []loadgen.Event{
@@ -499,28 +502,31 @@ func TestSchedulerDeterministicAcrossWorkerCounts(t *testing.T) {
 		{Kind: loadgen.EventPerf, Server: 3, Factor: 0.85},
 	}}
 	for _, policy := range []Policy{PolicyStatic, PolicyProportional, PolicyP2C, PolicyFeedback} {
-		for _, withEvents := range []bool{false, true} {
-			cfg := planConfig(policy)
-			cfg.Traffic.Clients[0].Spec.Poisson = true
-			cfg.Traffic.Clients[1].Spec.Poisson = true
-			if withEvents {
-				cfg.Scenario = scenario
-			}
-			one := cfg
-			one.Workers = 1
-			many := cfg
-			many.Workers = 8
-			a, err := Run(one)
-			if err != nil {
-				t.Fatalf("%v events=%v: %v", policy, withEvents, err)
-			}
-			b, err := Run(many)
-			if err != nil {
-				t.Fatalf("%v events=%v: %v", policy, withEvents, err)
-			}
-			if !reflect.DeepEqual(a, b) {
-				t.Fatalf("%v events=%v: worker count perturbed the results:\n%+v\nvs\n%+v",
-					policy, withEvents, a, b)
+		for _, est := range []stats.TailEstimator{stats.EstimatorExact, stats.EstimatorHistogram} {
+			for _, withEvents := range []bool{false, true} {
+				cfg := planConfig(policy)
+				cfg.Traffic.Clients[0].Spec.Poisson = true
+				cfg.Traffic.Clients[1].Spec.Poisson = true
+				cfg.TailEstimator = est
+				if withEvents {
+					cfg.Scenario = scenario
+				}
+				one := cfg
+				one.Workers = 1
+				many := cfg
+				many.Workers = 8
+				a, err := Run(one)
+				if err != nil {
+					t.Fatalf("%v est=%v events=%v: %v", policy, est, withEvents, err)
+				}
+				b, err := Run(many)
+				if err != nil {
+					t.Fatalf("%v est=%v events=%v: %v", policy, est, withEvents, err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%v est=%v events=%v: worker count perturbed the results:\n%+v\nvs\n%+v",
+						policy, est, withEvents, a, b)
+				}
 			}
 		}
 	}

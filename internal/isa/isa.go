@@ -6,6 +6,10 @@
 // simulates SPARC v9; we reproduce pipeline behaviour, not encodings): a
 // trace is a stream of micro-ops annotated with dependence distances,
 // memory addresses, and branch outcomes.
+//
+// Invariant: this package is pure vocabulary — immutable kinds, classes
+// and latency tables with no state — so every consumer can share it
+// concurrently without coordination.
 package isa
 
 import "fmt"

@@ -4,6 +4,12 @@
 // bits — the S-bit engaging Stretch and the B/Q selector — with hysteresis,
 // falling back to co-runner throttling when even Q-mode cannot restore QoS,
 // exactly as the paper layers Stretch onto the CPI2 mitigation ladder.
+//
+// Invariant: the Controller is a pure state machine over its observation
+// sequence — no clocks, no randomness, no dependence on the core model's
+// timing — so identical observations always replay to identical actions,
+// and the fleet engine can hold controllers by value and reinitialise
+// them in place (Reset) without perturbing results.
 package monitor
 
 import (
@@ -137,10 +143,23 @@ type Controller struct {
 
 // New builds a controller starting in Baseline mode.
 func New(cfg Config) (*Controller, error) {
-	if err := cfg.Validate(); err != nil {
+	c := &Controller{}
+	if err := c.Reset(cfg); err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg, mode: core.ModeBaseline}, nil
+	return c, nil
+}
+
+// Reset reinitialises the controller in place for cfg, starting in Baseline
+// mode with all streaks and the switch count cleared — the allocation-free
+// form of New for hot loops (the fleet engine) that keep controller storage
+// per core and rebuild it when a core changes hands.
+func (c *Controller) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	*c = Controller{cfg: cfg, mode: core.ModeBaseline}
+	return nil
 }
 
 // Mode returns the currently engaged Stretch mode.

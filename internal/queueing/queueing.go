@@ -9,6 +9,14 @@
 // running at fraction f of full single-thread performance has its service
 // times stretched by 1/f (§II's Elfen-style fine-grain interleaving, or
 // SMT contention, or a Stretch partition choice).
+//
+// Invariants: a simulation is a pure function of (Config, rate, nRequests,
+// perfFactor, seed) — bit-identical on every run, with Simulator state
+// never leaking between calls. Config.Estimator selects the latency
+// quantile estimator: exact (sorted sample) or the mergeable log-bucketed
+// histogram whose error is bounded by the bucket resolution
+// (stats.Histogram); the choice never perturbs the simulated event
+// sequence, only how its measurements are summarised.
 package queueing
 
 import (
@@ -37,6 +45,14 @@ type Config struct {
 	// QoSQuantile and QoSTargetMs define the QoS constraint.
 	QoSQuantile float64
 	QoSTargetMs float64
+	// Estimator selects how latency quantiles are computed:
+	// stats.EstimatorExact retains and sorts every measured latency;
+	// stats.EstimatorHistogram records into a fixed log-bucketed histogram
+	// (O(1) add, bounded relative error, mergeable). The zero value
+	// (stats.EstimatorDefault) resolves to exact here — standalone queueing
+	// callers are the paper's figures, where fidelity wins; the fleet
+	// engine passes an explicit estimator.
+	Estimator stats.TailEstimator
 }
 
 // Validate rejects unusable configurations. Float parameters must be
@@ -59,7 +75,7 @@ func (c Config) Validate() error {
 	case !finite(c.QoSTargetMs) || c.QoSTargetMs <= 0:
 		return fmt.Errorf("queueing: non-positive QoS target")
 	}
-	return nil
+	return c.Estimator.Validate()
 }
 
 // Result summarises one simulation.
@@ -134,6 +150,7 @@ type Simulator struct {
 	workers minHeap
 	waiting minHeap
 	lat     *stats.Sample
+	hist    *stats.Histogram
 }
 
 // NewSimulator builds a Simulator for cfg.
@@ -192,12 +209,26 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 	meanGapMs := 1000 / ratePerSec
 	now := 0.0 // arrival clock, ms
 	warm := nRequests / 10
-	if s.lat == nil {
-		s.lat = stats.NewSample(nRequests - warm)
+	// The measured-latency store: an exact sorted sample, or the mergeable
+	// log-bucketed histogram (O(1) add, O(buckets) quantile — no per-window
+	// sort on the fleet hot path). Either is reused across Simulate calls.
+	var lat *stats.Sample
+	var hist *stats.Histogram
+	if s.cfg.Estimator == stats.EstimatorHistogram {
+		if s.hist == nil {
+			s.hist = stats.NewTailHistogram()
+		} else {
+			s.hist.Reset()
+		}
+		hist = s.hist
 	} else {
-		s.lat.Reset()
+		if s.lat == nil {
+			s.lat = stats.NewSample(nRequests - warm)
+		} else {
+			s.lat.Reset()
+		}
+		lat = s.lat
 	}
-	lat := s.lat
 	var mean stats.Running
 	maxQ := 0
 	pending := 0 // requests in this burst still to arrive at `now`
@@ -243,18 +274,26 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 		}
 		if i >= warm {
 			l := finish - now
-			lat.Add(l)
+			if hist != nil {
+				hist.Add(l)
+			} else {
+				lat.Add(l)
+			}
 			mean.Add(l)
 		}
 	}
 
-	r := Result{
-		MeanMs:   mean.Mean(),
-		P95Ms:    lat.Quantile(0.95),
-		P99Ms:    lat.Quantile(0.99),
-		QoSMs:    lat.Quantile(cfg.QoSQuantile),
-		MaxQueue: maxQ,
-		Requests: lat.N(),
+	r := Result{MeanMs: mean.Mean(), MaxQueue: maxQ}
+	if hist != nil {
+		r.P95Ms = hist.Quantile(0.95)
+		r.P99Ms = hist.Quantile(0.99)
+		r.QoSMs = hist.Quantile(cfg.QoSQuantile)
+		r.Requests = hist.N()
+	} else {
+		r.P95Ms = lat.Quantile(0.95)
+		r.P99Ms = lat.Quantile(0.99)
+		r.QoSMs = lat.Quantile(cfg.QoSQuantile)
+		r.Requests = lat.N()
 	}
 	r.MeetsQoS = r.QoSMs <= cfg.QoSTargetMs
 	return r, nil

@@ -3,6 +3,7 @@ package queueing
 import (
 	"fmt"
 	"math"
+	"stretch/internal/stats"
 	"testing"
 )
 
@@ -272,5 +273,69 @@ func TestLoadCurveShape(t *testing.T) {
 	}
 	if _, err := LoadCurve(c, peak, []float64{0}, 1000, 5); err == nil {
 		t.Fatal("zero load fraction accepted")
+	}
+}
+
+// TestHistogramEstimatorTracksExact locks the estimator contract: switching
+// Config.Estimator never perturbs the simulated event sequence (the exact
+// per-request mean is bit-identical) and quantile estimates stay within the
+// histogram's bucket resolution of the exact sorted-sample quantiles.
+func TestHistogramEstimatorTracksExact(t *testing.T) {
+	exact := cfg()
+	exact.Estimator = stats.EstimatorExact
+	hist := cfg()
+	hist.Estimator = stats.EstimatorHistogram
+	for _, rate := range []float64{200, 800, 1400} {
+		re, err := Simulate(exact, rate, 20000, 1, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := Simulate(hist, rate, 20000, 1, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.MeanMs != rh.MeanMs || re.MaxQueue != rh.MaxQueue || re.Requests != rh.Requests {
+			t.Fatalf("rate %v: estimator perturbed the simulation: %+v vs %+v", rate, re, rh)
+		}
+		tol := 2 * stats.NewTailHistogram().Resolution()
+		for _, pair := range [][2]float64{{re.P95Ms, rh.P95Ms}, {re.P99Ms, rh.P99Ms}, {re.QoSMs, rh.QoSMs}} {
+			if rel := math.Abs(pair[1]-pair[0]) / pair[0]; rel > tol {
+				t.Fatalf("rate %v: histogram quantile %v vs exact %v (relative error %.3f > %.3f)",
+					rate, pair[1], pair[0], rel, tol)
+			}
+		}
+	}
+}
+
+// TestHistogramEstimatorDeterministicReuse checks a reused Simulator in
+// histogram mode is bit-identical to a one-shot run, as the fleet hot loop
+// requires.
+func TestHistogramEstimatorDeterministicReuse(t *testing.T) {
+	c := cfg()
+	c.Estimator = stats.EstimatorHistogram
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := sim.Simulate(900, 5000, 0.9, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Simulate(c, 900, 5000, 0.9, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("reused simulator drifted on pass %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestValidateRejectsUnknownEstimator(t *testing.T) {
+	c := cfg()
+	c.Estimator = stats.TailEstimator(99)
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown estimator accepted")
 	}
 }

@@ -10,6 +10,10 @@
 // for the next on-phase), which is negligible exactly because the quantum
 // is orders of magnitude below the latency targets — the property the
 // paper relies on.
+//
+// Invariant: slack curves are pure functions of (service config, load,
+// seed); the bisection over duty cycles consumes no shared state, so
+// curves for different loads may be computed concurrently.
 package slack
 
 import (

@@ -1,6 +1,16 @@
 // Package stats provides the small statistical toolkit used throughout the
-// simulator: running moments, exact percentiles over bounded samples, and
-// the five-number "violin" summaries the paper's figures report.
+// simulator: running moments (Running), exact percentiles over bounded
+// samples (Sample), mergeable log-bucketed tail-latency histograms
+// (Histogram) behind the TailEstimator selector, fixed-width census bins
+// (LinearHistogram) and the five-number "violin" summaries the paper's
+// figures report.
+//
+// Invariants: every estimator here is deterministic — identical inputs in
+// identical order produce bit-identical outputs — and the log-bucketed
+// Histogram is additionally order- and sharding-independent, because its
+// integer bucket counts merge associatively and commutatively. That is
+// what lets the fleet engine shard observations across any number of
+// workers and still reproduce results bit-identically.
 package stats
 
 import (
@@ -160,28 +170,29 @@ func (v Violin) String() string {
 		v.Min, v.Q1, v.Median, v.Q3, v.Max, v.Mean, v.N)
 }
 
-// Histogram counts observations in fixed-width bins over [lo, hi); values
-// outside the range clamp to the first/last bin. Used for the MLP census
-// (Fig. 7).
-type Histogram struct {
+// LinearHistogram counts observations in fixed-width bins over [lo, hi);
+// values outside the range clamp to the first/last bin. Used for the MLP
+// census (Fig. 7). For tail-latency quantiles over wide dynamic ranges use
+// the log-bucketed Histogram instead.
+type LinearHistogram struct {
 	lo, width float64
 	counts    []int64
 	total     int64
 }
 
-// NewHistogram creates a histogram with n bins spanning [lo, hi).
-func NewHistogram(lo, hi float64, n int) *Histogram {
+// NewLinearHistogram creates a histogram with n bins spanning [lo, hi).
+func NewLinearHistogram(lo, hi float64, n int) *LinearHistogram {
 	if n <= 0 || hi <= lo {
 		panic("stats: invalid histogram shape")
 	}
-	return &Histogram{lo: lo, width: (hi - lo) / float64(n), counts: make([]int64, n)}
+	return &LinearHistogram{lo: lo, width: (hi - lo) / float64(n), counts: make([]int64, n)}
 }
 
 // Add increments the bin containing x.
-func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+func (h *LinearHistogram) Add(x float64) { h.AddN(x, 1) }
 
 // AddN increments the bin containing x by w.
-func (h *Histogram) AddN(x float64, w int64) {
+func (h *LinearHistogram) AddN(x float64, w int64) {
 	i := int((x - h.lo) / h.width)
 	if i < 0 {
 		i = 0
@@ -194,7 +205,7 @@ func (h *Histogram) AddN(x float64, w int64) {
 }
 
 // Fraction returns the fraction of mass in bin i.
-func (h *Histogram) Fraction(i int) float64 {
+func (h *LinearHistogram) Fraction(i int) float64 {
 	if h.total == 0 {
 		return 0
 	}
@@ -203,7 +214,7 @@ func (h *Histogram) Fraction(i int) float64 {
 
 // TailFraction returns the fraction of mass in bins >= i (cumulative from
 // above), matching the ">= k in-flight requests" presentation of Fig. 7.
-func (h *Histogram) TailFraction(i int) float64 {
+func (h *LinearHistogram) TailFraction(i int) float64 {
 	if h.total == 0 {
 		return 0
 	}
@@ -218,10 +229,10 @@ func (h *Histogram) TailFraction(i int) float64 {
 }
 
 // Bins returns the number of bins.
-func (h *Histogram) Bins() int { return len(h.counts) }
+func (h *LinearHistogram) Bins() int { return len(h.counts) }
 
 // Total returns the total mass added.
-func (h *Histogram) Total() int64 { return h.total }
+func (h *LinearHistogram) Total() int64 { return h.total }
 
 // GeoMean returns the geometric mean of xs (all must be positive); it
 // returns 0 for an empty slice.

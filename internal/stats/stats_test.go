@@ -147,8 +147,8 @@ func TestSummarizeDoesNotMutate(t *testing.T) {
 	}
 }
 
-func TestHistogramTails(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+func TestLinearHistogramTails(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 10)
 	for i := 0; i < 10; i++ {
 		h.Add(float64(i) + 0.5)
 	}
@@ -166,8 +166,8 @@ func TestHistogramTails(t *testing.T) {
 	}
 }
 
-func TestHistogramClamping(t *testing.T) {
-	h := NewHistogram(0, 10, 5)
+func TestLinearHistogramClamping(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 5)
 	h.Add(-100)
 	h.Add(100)
 	if h.Fraction(0) != 0.5 || h.Fraction(4) != 0.5 {
@@ -178,13 +178,13 @@ func TestHistogramClamping(t *testing.T) {
 	}
 }
 
-func TestHistogramPanicsOnBadShape(t *testing.T) {
+func TestLinearHistogramPanicsOnBadShape(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewHistogram with hi<=lo did not panic")
+			t.Fatal("NewLinearHistogram with hi<=lo did not panic")
 		}
 	}()
-	NewHistogram(5, 5, 3)
+	NewLinearHistogram(5, 5, 3)
 }
 
 func TestAggregates(t *testing.T) {

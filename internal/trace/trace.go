@@ -11,6 +11,10 @@
 // and dependent (serialised) misses, batch workloads have independent
 // misses that a large window can overlap — are first-class profile knobs.
 //
+// Invariant: a Generator's stream is a pure function of (Profile, seed) —
+// all randomness comes from its own rng.Stream — so any measurement built
+// on it reproduces bit-identically.
+//
 // Memory locality is expressed as three address tiers sized to the cache
 // hierarchy: a hot region (L1-resident), a warm region (LLC-resident) and a
 // cold region (the full footprint, mostly memory-resident). The core still

@@ -11,6 +11,10 @@
 // (zeusmp, bwaves, libquantum, lbm). Absolute rates are calibrated so the
 // modelled core reproduces the paper's relative sensitivities, not any
 // particular machine's absolute IPC.
+//
+// Invariant: the catalogue is fixed at build time and read-only at
+// runtime — lookups never mutate shared state, so concurrent experiments
+// can share it freely.
 package workload
 
 import (

@@ -28,7 +28,11 @@
 //     closed-loop feedback on measured tails) under replayable scenario
 //     events (FleetScenario: server drains and restores, traffic surges,
 //     heterogeneous server generations), with the per-window fleet series
-//     exposed as FleetResult.WindowTrace.
+//     exposed as FleetResult.WindowTrace. Tail quantiles are estimated by
+//     mergeable log-bucketed histograms by default (TailEstimator), which
+//     is what lets the fleet scale to tens of thousands of cores with
+//     constant per-core memory; the exact sorted-sample estimator remains
+//     available for small runs and accuracy comparisons.
 //
 // Quick start:
 //
@@ -49,6 +53,7 @@ import (
 	"stretch/internal/loadgen"
 	"stretch/internal/monitor"
 	"stretch/internal/sampling"
+	"stretch/internal/stats"
 	"stretch/internal/trace"
 	"stretch/internal/workload"
 )
@@ -328,6 +333,25 @@ const (
 // (static|proportional|p2c|feedback).
 func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) { return fleet.ParsePolicy(s) }
 
+// TailEstimator selects how the fleet estimates tail-latency quantiles at
+// every level (per-request, per-window, per-client, fleet-wide).
+type TailEstimator = stats.TailEstimator
+
+// Tail estimators. The fleet default (EstimatorDefault) is the mergeable
+// log-bucketed histogram: O(1) per observation and constant memory, with
+// quantile error bounded by the bucket resolution (≤ 1/16 ≈ 6.25% per
+// quantisation level, half that in expectation). EstimatorExact retains
+// and sorts every observation — exact, but memory grows with request
+// count; use it for small runs and accuracy comparisons.
+const (
+	EstimatorDefault   = stats.EstimatorDefault
+	EstimatorExact     = stats.EstimatorExact
+	EstimatorHistogram = stats.EstimatorHistogram
+)
+
+// ParseTailEstimator resolves an estimator name (exact|histogram).
+func ParseTailEstimator(s string) (TailEstimator, error) { return stats.ParseTailEstimator(s) }
+
 // FleetWindowObservation is one window's measured fleet record: the
 // feedback handed to the closed-loop scheduler after each window barrier,
 // and the per-window entry of FleetResult.WindowTrace.
@@ -365,7 +389,9 @@ func ParseFleetEvents(s string) (FleetScenario, error) { return loadgen.ParseEve
 type FleetConfig = fleet.Config
 
 // FleetResult aggregates a fleet run: per-client tails and violations,
-// engaged-core-hours, and batch core-hours gained over equal partitioning.
+// fleet-wide tails over every serving core-window (FleetP99Ms,
+// FleetP999Ms), engaged-core-hours, and batch core-hours gained over
+// equal partitioning.
 type FleetResult = fleet.Result
 
 // FleetClientMetrics is one traffic client's aggregate.
