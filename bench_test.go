@@ -195,6 +195,22 @@ func BenchmarkFleetExact1kCores(b *testing.B) {
 	benchFleet(b, benchFleetConfig(63, EstimatorExact))
 }
 
+// BenchmarkFleetCalibrated1kCores guards the acceptance bound of the
+// calibration refactor: per-client per-mode deltas from the committed
+// cycle-level table must stay within noise of the uniform-scalar run,
+// because the table resolves to flat per-client arrays before the first
+// window and nothing touches it on the per-request path.
+func BenchmarkFleetCalibrated1kCores(b *testing.B) {
+	table, err := DefaultCalibration()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchFleetConfig(63, EstimatorDefault)
+	cfg.Calibration = table
+	cfg.Traffic.Clients[0].Batch = "zeusmp"
+	benchFleet(b, cfg)
+}
+
 // BenchmarkFleet10kCores is the scale target the mergeable histograms
 // enable: 10000 cores with memory independent of the request count.
 func BenchmarkFleet10kCores(b *testing.B) {

@@ -1,0 +1,203 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can publish benchmark trajectories (BENCH_*.json
+// artifacts) that tooling can diff across commits without re-parsing the
+// bench text format.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson -o BENCH_fleet.json
+//	benchjson -o BENCH_fleet.json bench1.txt bench2.txt
+//
+// Each benchmark appears once, with every metric averaged over its -count
+// repetitions (runs records how many were folded in). Standard metrics
+// (ns/op, B/op, allocs/op) and custom b.ReportMetric units (e.g. req/s)
+// are treated alike.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one aggregated benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the preceding `pkg:`
+	// header line; empty if the input carried none). Same-named
+	// benchmarks in different packages stay separate entries.
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS suffix (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Runs is how many result lines (-count repetitions) were folded in.
+	Runs int `json:"runs"`
+	// Iterations is the total b.N across runs.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → mean value across runs (ns/op, B/op,
+	// allocs/op, and any custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Packages   []string    `json:"packages,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// accum collects one benchmark's repetitions before averaging.
+type accum struct {
+	name       string
+	pkg        string
+	procs      int
+	runs       int
+	iterations int64
+	sums       map[string]float64
+	counts     map[string]int
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	var readers []io.Reader
+	if flag.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+
+	rep, err := parse(io.MultiReader(readers...))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go-test bench output: header key: value lines and
+// `BenchmarkName-P  N  value unit  value unit ...` result lines; anything
+// else (PASS, ok, test logs) is ignored.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	accums := map[string]*accum{}
+	var order []string
+	pkg := "" // package of the benchmark lines that follow
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			rep.Packages = append(rep.Packages, pkg)
+		case strings.HasPrefix(line, "Benchmark"):
+			fields := strings.Fields(line)
+			// A result line needs a name, an iteration count, and at
+			// least one value-unit pair; odd trailing fields are not a
+			// result line (e.g. a benchmark log line).
+			if len(fields) < 4 || len(fields)%2 != 0 {
+				continue
+			}
+			iters, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				continue
+			}
+			name, procs := splitProcs(fields[0])
+			// Key by (package, name): a multi-package bench run (or
+			// several per-package files) reuses benchmark names, and
+			// averaging across packages would report a value that
+			// corresponds to no real benchmark.
+			key := pkg + "\x00" + name
+			a, ok := accums[key]
+			if !ok {
+				a = &accum{name: name, pkg: pkg, procs: procs, sums: map[string]float64{}, counts: map[string]int{}}
+				accums[key] = a
+				order = append(order, key)
+			}
+			a.runs++
+			a.iterations += iters
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return Report{}, fmt.Errorf("bad value %q in %q", fields[i], line)
+				}
+				unit := fields[i+1]
+				a.sums[unit] += v
+				a.counts[unit]++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+
+	sort.Strings(rep.Packages)
+	for _, key := range order {
+		a := accums[key]
+		b := Benchmark{
+			Name: a.name, Pkg: a.pkg, Procs: a.procs,
+			Runs: a.runs, Iterations: a.iterations,
+			Metrics: make(map[string]float64, len(a.sums)),
+		}
+		for unit, sum := range a.sums {
+			b.Metrics[unit] = sum / float64(a.counts[unit])
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, nil
+}
+
+// splitProcs strips the trailing -P GOMAXPROCS suffix from a benchmark
+// name, returning the bare name and P (0 when absent).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 0
+	}
+	return name[:i], p
+}

@@ -5,10 +5,13 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"stretch/internal/calib"
 	"stretch/internal/fleet"
 	"stretch/internal/loadgen"
+	"stretch/internal/sampling"
 	"stretch/internal/stats"
 	"stretch/internal/workload"
 )
@@ -20,6 +23,7 @@ type fleetParams struct {
 	policy         string
 	events         string
 	estimator      string
+	calib          string
 	hours          float64
 	wph, windowReq int
 	seed           uint64
@@ -113,12 +117,15 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 			return nil, err
 		}
 		dsCores := float64(nCores) / 5
+		// Batch pairings span the calibration spectrum: a high-MLP
+		// streamer behind search, a memory streamer behind video, a
+		// pointer-chaser behind the kvstore. Inert without -calib.
 		return []loadgen.Client{
-			{Name: "search", Service: workload.WebSearch, Fraction: 0.5,
+			{Name: "search", Service: workload.WebSearch, Batch: workload.Zeusmp, Fraction: 0.5,
 				SLO: loadgen.SLOStrict, Spec: ws},
-			{Name: "video", Service: workload.MediaStreaming, Fraction: 0.3,
+			{Name: "video", Service: workload.MediaStreaming, Batch: "libquantum", Fraction: 0.3,
 				SLO: loadgen.SLORelaxed, Spec: vid},
-			{Name: "kvstore", Service: workload.DataServing, Fraction: 0.2,
+			{Name: "kvstore", Service: workload.DataServing, Batch: "mcf", Fraction: 0.2,
 				Spec: loadgen.Spec{Shape: loadgen.Burst{
 					Base: loadgen.Ramp{
 						StartRPS:  0.3 * dsPeak * dsCores,
@@ -138,7 +145,7 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 			return fleet.Config{}, err
 		}
 		clients = []loadgen.Client{{
-			Name: "search", Service: workload.WebSearch, Fraction: 1, Spec: spec,
+			Name: "search", Service: workload.WebSearch, Batch: workload.Zeusmp, Fraction: 1, Spec: spec,
 		}}
 	case "video":
 		spec, err := diurnal(workload.MediaStreaming, loadgen.VideoDay(), float64(nCores))
@@ -146,7 +153,7 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 			return fleet.Config{}, err
 		}
 		clients = []loadgen.Client{{
-			Name: "video", Service: workload.MediaStreaming, Fraction: 1, Spec: spec,
+			Name: "video", Service: workload.MediaStreaming, Batch: "libquantum", Fraction: 1, Spec: spec,
 		}}
 	case "mixed":
 		clients, err = mixedClients()
@@ -166,15 +173,56 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 			p.trace, strings.Join(fleetTraces(), "|"))
 	}
 
+	table, err := resolveCalibration(p.calib, clients)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+
 	return fleet.Config{
 		Servers: p.servers, CoresPerServer: p.cores,
 		Traffic:       loadgen.Traffic{Clients: clients, Windows: windows, WindowSec: windowSec},
+		Calibration:   table,
 		BatchSpeedupB: p.bSpeedup, LSSlowdownB: p.lsSlowdown,
 		WindowRequests: p.windowReq, Workers: p.workers, Seed: p.seed,
 		TailEstimator: estimator,
 		Scheduler:     fleet.SchedulerConfig{Policy: policy},
 		Scenario:      scenario,
 	}, nil
+}
+
+// resolveCalibration materialises the -calib flag: empty keeps the uniform
+// scalars, "default" loads the committed full-catalogue table (no
+// cycle-level cost), and any other value is an on-disk cache path covering
+// exactly the trace's (service, batch) pairings — served from the file
+// when its content hash matches the inputs, rebuilt from the cycle-level
+// model (minutes of simulation) and written back on a miss.
+func resolveCalibration(arg string, clients []loadgen.Client) (*calib.Table, error) {
+	switch arg {
+	case "":
+		return nil, nil
+	case "default":
+		return calib.Default()
+	}
+	svcSet, batchSet := map[string]bool{}, map[string]bool{}
+	for _, c := range clients {
+		svcSet[c.Service] = true
+		batchSet[fleet.BatchPairing(c)] = true
+	}
+	in := calib.Inputs{
+		Services: sortedKeys(svcSet), Batches: sortedKeys(batchSet),
+		BSkew: calib.DefaultBSkew, QSkew: calib.DefaultQSkew,
+		Spec: sampling.Standard(),
+	}
+	return calib.Cached(arg, in)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // failoverScenario is the failover trace's default event list: a quarter
@@ -234,6 +282,20 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 	if res.TailEstimator == stats.EstimatorHistogram {
 		fmt.Fprintf(&b, "fleet-wide tail over all serving core-windows: p99 %.1f ms, p99.9 %.1f ms (histogram estimator)\n",
 			res.FleetP99Ms, res.FleetP999Ms)
+	}
+	// The calibration block only appears on calibrated runs, so
+	// uniform-scalar golden files keep reproducing byte-identically.
+	if res.CalibrationHash != "" && cfg.Calibration != nil {
+		fmt.Fprintf(&b, "\ncalibration %.12s (cycle-level table) — per-client colocation deltas vs equal partitioning:\n",
+			res.CalibrationHash)
+		fmt.Fprintf(&b, "%-10s %-14s %9s %9s %9s %16s\n",
+			"client", "batch pairing", "B batch", "B LS cost", "Q batch", "batch gained (h)")
+		for _, cm := range res.Clients {
+			p, _ := cfg.Calibration.Pair(cm.Service, cm.Batch)
+			fmt.Fprintf(&b, "%-10s %-14s %+8.1f%% %+8.1f%% %+8.1f%% %16.1f\n",
+				cm.Client, cm.Batch, 100*p.B.BatchSpeedup, 100*p.B.LSSlowdown,
+				100*p.Q.BatchSpeedup, cm.BatchCoreHoursGained)
+		}
 	}
 	fmt.Fprintf(&b, "\nengaged %.0f of %.0f core-hours (%.0f%%), %d controller switches\n",
 		res.EngagedCoreHours, res.TotalCoreHours, 100*res.EngagedCoreHours/res.TotalCoreHours,

@@ -9,7 +9,7 @@
 //	stretchsim -experiment all [-scale quick]
 //	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed]
 //	           [-policy static|proportional|p2c|feedback] [-events "drain:24:0,..."]
-//	           [-tail-estimator histogram|exact]
+//	           [-tail-estimator histogram|exact] [-calib default|<path.json>]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
 //	           [-seed 1] [-fleet-workers 0] [-window-trace]
 package main
@@ -36,6 +36,7 @@ func main() {
 		traceName  = flag.String("trace", "mixed", "fleet: traffic spec (websearch|video|mixed|failover)")
 		policy     = flag.String("policy", "static", "fleet: scheduler policy (static|proportional|p2c|feedback)")
 		estimator  = flag.String("tail-estimator", "histogram", "fleet: tail quantile estimator (histogram|exact)")
+		calibFlag  = flag.String("calib", "", "fleet: per-(service,batch,mode) calibration from the cycle-level model: \"default\" for the committed table, a .json path for an on-disk cache (built on miss), empty for uniform scalars")
 		events     = flag.String("events", "", "fleet: scenario events, e.g. \"drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85\" (failover trace has a built-in default)")
 		hours      = flag.Float64("hours", 24, "fleet: horizon in hours")
 		wph        = flag.Int("windows-per-hour", 4, "fleet: monitoring windows per hour")
@@ -52,6 +53,7 @@ func main() {
 		runFleet(fleetParams{
 			servers: *servers, cores: *cores, trace: *traceName,
 			policy: *policy, events: *events, estimator: *estimator,
+			calib: *calibFlag,
 			hours: *hours, wph: *wph, windowReq: *windowReq,
 			seed: *seed, workers: *fleetWork,
 			bSpeedup: *bSpeedup, lsSlowdown: *lsSlowdown,

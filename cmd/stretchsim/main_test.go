@@ -40,23 +40,32 @@ func TestFleetGolden(t *testing.T) {
 		trace, policy string
 		hours         float64
 		estimator     string
+		calib         string
 	}{
-		{"websearch", "static", 0, ""},
-		{"video", "static", 0, ""},
-		{"mixed", "static", 0, ""},
-		{"mixed", "proportional", 0, ""},
-		{"mixed", "p2c", 0, ""},
-		{"failover", "proportional", 0, ""},
-		{"mixed", "feedback", 0, ""},
-		{"failover", "feedback", 24, ""},
-		{"mixed", "static", 0, "histogram"},
-		{"mixed", "feedback", 0, "histogram"},
-		{"failover", "feedback", 24, "histogram"},
+		{"websearch", "static", 0, "", ""},
+		{"video", "static", 0, "", ""},
+		{"mixed", "static", 0, "", ""},
+		{"mixed", "proportional", 0, "", ""},
+		{"mixed", "p2c", 0, "", ""},
+		{"failover", "proportional", 0, "", ""},
+		{"mixed", "feedback", 0, "", ""},
+		{"failover", "feedback", 24, "", ""},
+		{"mixed", "static", 0, "histogram", ""},
+		{"mixed", "feedback", 0, "histogram", ""},
+		{"failover", "feedback", 24, "histogram", ""},
+		// Calibrated runs consume the committed default table: per-client
+		// (service, batch) deltas from the cycle-level model, locked with
+		// the per-client calibrated batch-speedup block in the report.
+		{"mixed", "static", 0, "", "default"},
+		{"failover", "feedback", 24, "histogram", "default"},
 	}
 	for _, tc := range cases {
 		name := tc.trace + "_" + tc.policy
 		if tc.estimator != "" {
 			name += "_" + tc.estimator
+		}
+		if tc.calib != "" {
+			name += "_calibrated"
 		}
 		t.Run(name, func(t *testing.T) {
 			p := goldenParams(tc.trace, tc.policy)
@@ -66,6 +75,7 @@ func TestFleetGolden(t *testing.T) {
 			if tc.estimator != "" {
 				p.estimator = tc.estimator
 			}
+			p.calib = tc.calib
 			cfg, err := buildFleetConfig(p)
 			if err != nil {
 				t.Fatal(err)

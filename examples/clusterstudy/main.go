@@ -8,17 +8,17 @@ import (
 	"log"
 
 	"stretch"
-	"stretch/internal/cluster"
+	"stretch/internal/fleet"
 )
 
 func main() {
 	cases := []struct {
-		trace cluster.DiurnalTrace
+		trace fleet.DiurnalTrace
 		ls    string
 		batch string
 	}{
-		{cluster.WebSearchTrace(), stretch.WebSearch, "zeusmp"},
-		{cluster.YouTubeTrace(), stretch.MediaStreaming, "libquantum"},
+		{fleet.WebSearchTrace(), stretch.WebSearch, "zeusmp"},
+		{fleet.YouTubeTrace(), stretch.MediaStreaming, "libquantum"},
 	}
 
 	for _, cs := range cases {
@@ -34,7 +34,7 @@ func main() {
 		gain := stretch.Speedup(bm.BatchIPC, eq.BatchIPC)
 		cost := -stretch.Speedup(bm.LSIPC, eq.LSIPC)
 
-		study := cluster.Study{
+		study := fleet.Study{
 			Trace:         cs.trace,
 			EngageBelow:   0.85,
 			BatchSpeedupB: gain,

@@ -4,6 +4,9 @@
 // runs a full synthetic day through per-core Stretch controllers, then the
 // same day again with a burst storm injected into the key-value client, to
 // show the controllers shedding B-mode only where and when the storm lands.
+// A final calibrated run swaps the hand-measured uniform scalars for the
+// committed cycle-level calibration table, giving each client its own
+// (service, batch-pairing) B-/Q-mode deltas and per-client batch credit.
 package main
 
 import (
@@ -108,6 +111,38 @@ func main() {
 		fmt.Printf("  engaged %.0f/%.0f core-hours, batch gain vs equal partitioning %+.1f%% (%.0f core-hours)\n\n",
 			res.EngagedCoreHours, res.TotalCoreHours, 100*res.BatchGain, res.BatchCoreHoursGained)
 	}
+
+	// Calibrated calm day: per-client deltas from the committed
+	// cycle-level table instead of one fleet-wide scalar pair. Each client
+	// names the batch workload its cores colocate; the engine looks up the
+	// pairing's own B-/Q-mode cells.
+	table, err := stretch.DefaultCalibration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := traffic(calmKV)
+	tr.Clients[0].Batch = "zeusmp"
+	tr.Clients[1].Batch = "libquantum"
+	tr.Clients[2].Batch = "mcf"
+	res, err := stretch.Fleet(stretch.FleetConfig{
+		Servers: servers, CoresPerServer: cores,
+		Traffic:        tr,
+		Calibration:    table,
+		WindowRequests: 300, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== calm day, calibrated (table %.12s): %d cores × 24h ==\n",
+		res.CalibrationHash, res.Cores)
+	for _, cm := range res.Clients {
+		cell, _ := table.Lookup(cm.Service, cm.Batch, stretch.ModeB)
+		fmt.Printf("  %-8s × %-11s B: batch %+5.1f%% LS %+5.1f%%  B-hours=%-5.0f batch gained=%.1f core-hours\n",
+			cm.Client, cm.Batch, 100*cell.BatchSpeedup, -100*cell.LSSlowdown,
+			cm.EngagedCoreHours, cm.BatchCoreHoursGained)
+	}
+	fmt.Printf("  fleet batch gain vs equal partitioning %+.1f%% (%.0f core-hours)\n",
+		100*res.BatchGain, res.BatchCoreHoursGained)
 }
 
 func measure(ls, b string, opts ...stretch.Option) (stretch.Result, error) {

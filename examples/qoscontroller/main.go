@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"stretch/internal/cluster"
 	"stretch/internal/core"
+	"stretch/internal/fleet"
 	"stretch/internal/monitor"
 	"stretch/internal/queueing"
 	"stretch/internal/workload"
@@ -43,7 +43,7 @@ func main() {
 	// queueing slack absorbs that.
 	const bModeSlowdown = 0.07
 
-	day := cluster.WebSearchTrace()
+	day := fleet.WebSearchTrace()
 	fmt.Println("hour  load   p99(ms)  mode      action")
 	for h, load := range day.HourLoad {
 		perf := 1.0

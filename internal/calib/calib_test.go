@@ -1,0 +1,248 @@
+package calib
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"stretch/internal/core"
+	"stretch/internal/sampling"
+	"stretch/internal/workload"
+)
+
+var regenDefault = flag.Bool("regen-default", false, "rebuild testdata/default_table.json from DefaultInputs (runs the full cycle-level grid; minutes)")
+
+// quickInputs is a tiny grid cheap enough to Build repeatedly in tests.
+func quickInputs() Inputs {
+	return Inputs{
+		Services: []string{workload.WebSearch},
+		Batches:  []string{workload.Zeusmp, "povray"},
+		BSkew:    DefaultBSkew,
+		QSkew:    DefaultQSkew,
+		Spec:     sampling.Quick(),
+	}
+}
+
+// TestDefaultTable is the freshness gate for the committed default table:
+// its stored hash must match the current fingerprint of DefaultInputs, so
+// any change to a workload profile, a core parameter or the sampling spec
+// forces a regeneration instead of silently serving stale calibration.
+// Run with -regen-default to rebuild after an intentional change.
+func TestDefaultTable(t *testing.T) {
+	if *regenDefault {
+		tbl, err := Build(DefaultInputs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Save(filepath.Join("testdata", "default_table.json")); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated default table, hash %s", tbl.Hash)
+		return
+	}
+	tbl, err := Default()
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	// Full catalogue coverage, usable cells everywhere.
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tbl.Inputs.Services), len(workload.ServiceNames()); got != want {
+		t.Fatalf("default table covers %d services, want %d", got, want)
+	}
+	if got, want := len(tbl.Inputs.Batches), len(workload.BatchNames()); got != want {
+		t.Fatalf("default table covers %d batches, want %d", got, want)
+	}
+	// The paper's headline directionality must hold for the exemplar pair:
+	// B-mode trades LS performance for batch throughput, Q-mode reverses.
+	p, ok := tbl.Pair(workload.WebSearch, workload.Zeusmp)
+	if !ok {
+		t.Fatal("default table missing web-search × zeusmp")
+	}
+	if p.B.BatchSpeedup <= 0 || p.B.LSSlowdown <= 0 {
+		t.Errorf("B-mode cell %+v should gain batch and cost LS", p.B)
+	}
+	if p.Q.BatchSpeedup >= 0 || p.Q.LSSlowdown >= 0 {
+		t.Errorf("Q-mode cell %+v should cost batch and gain LS", p.Q)
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint must move with any input and
+// be stable across calls.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := quickInputs()
+	h1, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	// Service/batch order must not matter (sets, not sequences).
+	reordered := base
+	reordered.Batches = []string{"povray", workload.Zeusmp}
+	if hr, _ := reordered.Fingerprint(); hr != h1 {
+		t.Error("fingerprint depends on batch order")
+	}
+	mutations := []func(*Inputs){
+		func(in *Inputs) { in.Batches = []string{workload.Zeusmp} },
+		func(in *Inputs) { in.BSkew = 64 },
+		func(in *Inputs) { in.QSkew = 128 },
+		func(in *Inputs) { in.Spec.Samples++ },
+		func(in *Inputs) { in.Spec.Seed++ },
+		func(in *Inputs) { in.Spec.Measure += 1000 },
+	}
+	for i, mutate := range mutations {
+		in := base
+		mutate(&in)
+		h, err := in.Fingerprint()
+		if err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		if h == h1 {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+func TestInputsValidate(t *testing.T) {
+	bad := []func(*Inputs){
+		func(in *Inputs) { in.Services = nil },
+		func(in *Inputs) { in.Services = []string{"nope"} },
+		func(in *Inputs) { in.Batches = []string{"nope"} },
+		func(in *Inputs) { in.Batches = []string{workload.WebSearch} }, // a service is not a batch
+		func(in *Inputs) { in.BSkew = 0 },
+		func(in *Inputs) { in.QSkew = 192 },
+		func(in *Inputs) { in.Spec.Samples = 0 },
+	}
+	for i, mutate := range bad {
+		in := quickInputs()
+		mutate(&in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := in.Fingerprint(); err == nil {
+			t.Errorf("mutation %d fingerprinted", i)
+		}
+	}
+}
+
+// TestBuildDeterminism: the same inputs must build the identical table —
+// same hash, same floats bit-for-bit — across runs and across GOMAXPROCS,
+// because every cell derives its seeds from the spec alone and the
+// parallel grid only changes execution order, never numbers.
+func TestBuildDeterminism(t *testing.T) {
+	in := quickInputs()
+	t1, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := runtime.GOMAXPROCS(1)
+	t2, err := Build(in)
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("tables differ across GOMAXPROCS:\n%+v\nvs\n%+v", t1.Pairs, t2.Pairs)
+	}
+}
+
+// TestCacheRoundTrip: Save→Load reproduces the table exactly; Cached pays
+// cycle-level cost on a miss, then serves the identical table from disk;
+// and a cache whose inputs drifted is rebuilt, not served stale.
+func TestCacheRoundTrip(t *testing.T) {
+	in := quickInputs()
+	path := filepath.Join(t.TempDir(), "table.json")
+
+	// Miss: builds and writes.
+	t1, err := Cached(path, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+	// Hit: loads the same table.
+	t2, err := Cached(path, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("cache hit returned a different table")
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1, loaded) {
+		t.Fatal("Load returned a different table")
+	}
+
+	// Different inputs at the same path: must rebuild, not serve stale.
+	in2 := in
+	in2.Spec.Seed++
+	t3, err := Cached(path, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Hash == t1.Hash {
+		t.Fatal("changed inputs produced the same hash")
+	}
+	if reload, err := Load(path); err != nil || reload.Hash != t3.Hash {
+		t.Fatalf("cache not refreshed: %v", err)
+	}
+}
+
+// TestLoadRejectsTampering: a hand-edited cache whose stored hash no
+// longer matches its stored inputs must be rejected.
+func TestLoadRejectsTampering(t *testing.T) {
+	in := quickInputs()
+	path := filepath.Join(t.TempDir(), "table.json")
+	tbl, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Hash = "0000000000000000"
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("tampered table accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	in := quickInputs()
+	tbl, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Lookup(workload.WebSearch, workload.Zeusmp, core.ModeB); !ok {
+		t.Fatal("calibrated pair not found")
+	}
+	if c, ok := tbl.Lookup(workload.WebSearch, workload.Zeusmp, core.ModeBaseline); !ok || c != (Cell{}) {
+		t.Fatalf("equal-partitioning cell %+v, want zero", c)
+	}
+	if _, ok := tbl.Lookup(workload.WebSearch, "mcf", core.ModeB); ok {
+		t.Fatal("uncalibrated batch found")
+	}
+	if _, ok := tbl.Lookup(workload.DataServing, workload.Zeusmp, core.ModeB); ok {
+		t.Fatal("uncalibrated service found")
+	}
+	// The B and Q cells of a pair must differ (the skews are different
+	// hardware configurations).
+	b, _ := tbl.Lookup(workload.WebSearch, workload.Zeusmp, core.ModeB)
+	q, _ := tbl.Lookup(workload.WebSearch, workload.Zeusmp, core.ModeQ)
+	if b == q {
+		t.Fatalf("B and Q cells identical: %+v", b)
+	}
+}

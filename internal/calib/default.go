@@ -1,0 +1,38 @@
+package calib
+
+import (
+	_ "embed"
+	"fmt"
+	"sync"
+)
+
+// defaultTableJSON is the committed default calibration table: the full
+// service × batch catalogue at the headline skews (DefaultInputs), built
+// once by `go test ./internal/calib -run TestDefaultTable -regen-default`
+// and regenerated only when the fingerprint of the inputs changes. Tests,
+// CI and the stretchsim `-calib default` path consume calibrated numbers
+// from it without ever paying cycle-level cost.
+//
+//go:embed testdata/default_table.json
+var defaultTableJSON []byte
+
+var defaultTable = sync.OnceValues(func() (*Table, error) {
+	t, err := parse(defaultTableJSON, "embedded default table")
+	if err != nil {
+		return nil, err
+	}
+	want, ferr := DefaultInputs().Fingerprint()
+	if ferr != nil {
+		return nil, ferr
+	}
+	if t.Hash != want {
+		return nil, fmt.Errorf("calib: embedded default table is stale (hash %.12s…, inputs now %.12s…); regenerate with `go test ./internal/calib -run TestDefaultTable -regen-default`", t.Hash, want)
+	}
+	return t, nil
+})
+
+// Default returns the committed default calibration table, parsed and
+// verified once per process. It errors only if the committed table has
+// drifted from DefaultInputs — a state the TestDefaultTable gate keeps out
+// of the tree.
+func Default() (*Table, error) { return defaultTable() }

@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"stretch/internal/cluster"
 	"stretch/internal/colocate"
 	"stretch/internal/core"
+	"stretch/internal/fleet"
 	"stretch/internal/monitor"
 	"stretch/internal/sampling"
 	"stretch/internal/stats"
@@ -137,7 +137,7 @@ func AblationPrefetcher(c *Context) (Table, error) {
 // AblationControllerSignal compares the tail-latency and queue-length
 // controller signals over a synthetic diurnal day.
 func AblationControllerSignal(c *Context) (Table, error) {
-	study := cluster.Study{Trace: cluster.WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13, LSSlowdownB: 0.07}
+	study := fleet.Study{Trace: fleet.WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13, LSSlowdownB: 0.07}
 	t := Table{
 		ID:      "ablation-signal",
 		Title:   "Ablation: controller signal (tail latency vs queue length)",

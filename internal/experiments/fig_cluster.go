@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"stretch/internal/cluster"
 	"stretch/internal/colocate"
 	"stretch/internal/core"
+	"stretch/internal/fleet"
 	"stretch/internal/monitor"
 	"stretch/internal/stats"
 	"stretch/internal/workload"
@@ -44,15 +44,15 @@ func Fig14(c *Context) (Table, error) {
 		Metrics: map[string]float64{},
 	}
 	cases := []struct {
-		trace cluster.DiurnalTrace
+		trace fleet.DiurnalTrace
 		ls    string
 	}{
-		{cluster.WebSearchTrace(), workload.WebSearch},
-		{cluster.YouTubeTrace(), workload.MediaStreaming},
+		{fleet.WebSearchTrace(), workload.WebSearch},
+		{fleet.YouTubeTrace(), workload.MediaStreaming},
 	}
 	for _, cs := range cases {
 		bGain, lsSlow := speedup(cs.ls)
-		study := cluster.Study{
+		study := fleet.Study{
 			Trace:         cs.trace,
 			EngageBelow:   0.85,
 			BatchSpeedupB: bGain,

@@ -23,7 +23,16 @@
 // through the request-level queueing model at the perf factor its current
 // mode implies, feeds the measured tail to its controller, and credits the
 // colocated batch thread relative to equal partitioning (B-mode gains,
-// Q-mode pays). Results aggregate into per-client and fleet-wide tails
+// Q-mode pays). The per-mode deltas come from one of two sources, resolved
+// once per client before the first window: a calibration table
+// (Config.Calibration) derived from the cycle-level core model, which makes
+// both the LS slowdown and the batch credit specific to the client's
+// (service, batch-pairing) colocation in every mode — or, when no table is
+// supplied, the legacy uniform scalars (BatchSpeedupB, LSSlowdownB,
+// QModeBatchCost) applied identically to every client, which reproduces
+// pre-calibration results byte-identically. Either way the per-window hot
+// path only indexes a per-client array; no table lookup or map access sits
+// on the per-request path. Results aggregate into per-client and fleet-wide tails
 // (p99/p99.9 over core-window tails), QoS-violation window counts,
 // engaged-core-hours, batch core-hours gained versus an equal-partitioning
 // deployment, and the per-window fleet series in Result.WindowTrace.
@@ -54,6 +63,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"stretch/internal/calib"
 	"stretch/internal/core"
 	"stretch/internal/loadgen"
 	"stretch/internal/monitor"
@@ -73,11 +83,21 @@ type Config struct {
 	// timeline is split evenly across the cores its Fraction buys.
 	Traffic loadgen.Traffic
 
-	// BatchSpeedupB and LSSlowdownB are the measured B-mode deltas versus
-	// equal partitioning (e.g. from the 56-136 skew grid).
+	// Calibration supplies per-(service, batch, mode) performance deltas
+	// derived from the cycle-level core model: each client's B-/Q-mode LS
+	// slowdown and batch credit come from its (Service, Batch) pair's
+	// calibrated cells instead of the uniform scalars below. The table
+	// must cover every client's pairing (empty Client.Batch resolves to
+	// DefaultBatchPairing). Nil falls back to the uniform scalars and
+	// reproduces pre-calibration results byte-identically.
+	Calibration *calib.Table
+
+	// BatchSpeedupB and LSSlowdownB are the uniform measured B-mode deltas
+	// versus equal partitioning (e.g. from the 56-136 skew grid), applied
+	// to every client alike. Ignored when Calibration is set.
 	BatchSpeedupB, LSSlowdownB float64
-	// QModeBatchCost is the batch throughput lost while Q-mode is engaged
-	// (default 0.15 when zero).
+	// QModeBatchCost is the uniform batch throughput lost while Q-mode is
+	// engaged (default 0.15 when zero). Ignored when Calibration is set.
 	QModeBatchCost float64
 
 	// WindowRequests is the per-core request budget sampling each window's
@@ -147,9 +167,33 @@ func (c Config) Validate() error {
 	if err := c.TailEstimator.Validate(); err != nil {
 		return err
 	}
+	batches := workload.BatchProfiles()
 	for _, cl := range c.Traffic.Clients {
 		if _, ok := workload.Services()[cl.Service]; !ok {
 			return fmt.Errorf("fleet: client %q: unknown service %q", cl.Name, cl.Service)
+		}
+		if cl.Batch != "" {
+			if _, ok := batches[cl.Batch]; !ok {
+				return fmt.Errorf("fleet: client %q: unknown batch pairing %q", cl.Name, cl.Batch)
+			}
+		}
+		if c.Calibration != nil {
+			b := BatchPairing(cl)
+			p, ok := c.Calibration.Pair(cl.Service, b)
+			if !ok {
+				return fmt.Errorf("fleet: client %q: calibration table %.12s… has no %s × %s cell",
+					cl.Name, c.Calibration.Hash, cl.Service, b)
+			}
+			for _, cell := range []calib.Cell{p.B, p.Q} {
+				if !(cell.LSSlowdown < 1) || !(1-cell.LSSlowdown <= queueing.MaxPerfFactor) {
+					return fmt.Errorf("fleet: client %q: calibrated LS slowdown %v for %s × %s out of range",
+						cl.Name, cell.LSSlowdown, cl.Service, b)
+				}
+				if !(cell.BatchSpeedup > -1) {
+					return fmt.Errorf("fleet: client %q: calibrated batch speedup %v for %s × %s out of range",
+						cl.Name, cell.BatchSpeedup, cl.Service, b)
+				}
+			}
 		}
 	}
 	if err := c.Scheduler.Validate(); err != nil {
@@ -158,11 +202,30 @@ func (c Config) Validate() error {
 	return c.Scenario.Validate(c.Traffic.Windows, c.Servers, c.Traffic.Clients)
 }
 
+// DefaultBatchPairing is the batch workload assumed to colocate with a
+// client whose Batch field is empty: the paper's high-MLP exemplar
+// (Figs. 6-7), which is also the pairing the legacy uniform scalars were
+// historically measured on.
+const DefaultBatchPairing = workload.Zeusmp
+
+// BatchPairing resolves a client's colocated batch workload: its Batch
+// field, or DefaultBatchPairing when empty. This is the single owner of
+// the empty-Batch rule; callers building calibration inputs for a traffic
+// spec (e.g. the CLI cache path) must use it rather than re-deriving it.
+func BatchPairing(cl loadgen.Client) string {
+	if cl.Batch != "" {
+		return cl.Batch
+	}
+	return DefaultBatchPairing
+}
+
 // ClientMetrics aggregates one traffic client's cores.
 type ClientMetrics struct {
 	Client  string
 	Service string
-	SLO     loadgen.SLOClass
+	// Batch is the client's resolved colocated batch workload.
+	Batch string
+	SLO   loadgen.SLOClass
 	// Cores is the client's window-0 allocation; under the elastic
 	// policies the per-window allocation drifts with demand, tracked by
 	// CoreWindows.
@@ -180,6 +243,12 @@ type ClientMetrics struct {
 	// EngagedCoreHours is the B-mode time integrated over the client's
 	// cores.
 	EngagedCoreHours float64
+	// BatchCoreHoursGained integrates (batchRel − 1) over the client's
+	// serving core-windows: the extra batch work this client's cores
+	// produced versus equal partitioning, in the client's own calibrated
+	// speedup units (or the uniform scalars when no table is set). The
+	// per-client values sum to Result.BatchCoreHoursGained.
+	BatchCoreHoursGained float64
 }
 
 // ClientWindowObs aggregates one client's serving cores within a single
@@ -200,6 +269,11 @@ type ClientWindowObs struct {
 	Violations int
 	// BCores counts the client's cores that ran the window in B-mode.
 	BCores int
+	// BatchRel is the mean batch throughput of the client's serving cores
+	// this window, relative to equal partitioning — in the client's
+	// calibrated speedup units when the run is calibrated. 1 means the
+	// equal-partitioning baseline; >1 means B-mode credit is flowing.
+	BatchRel float64
 }
 
 // WindowObservation is the measured record of one completed window: the
@@ -230,6 +304,9 @@ type Result struct {
 	Policy Policy
 	// TailEstimator echoes the resolved tail estimator the run used.
 	TailEstimator stats.TailEstimator
+	// CalibrationHash is the content hash of the calibration table the run
+	// used; empty means the uniform-scalar fallback.
+	CalibrationHash string
 
 	// Clients holds per-client aggregates in traffic order.
 	Clients []ClientMetrics
@@ -289,9 +366,17 @@ type coreState struct {
 // core-major engine, keeping aggregate floats bit-identical.
 type engine struct {
 	nCores, windows, windowReq int
-	bGain, lsSlow, qCost       float64
 	migPenalty                 float64
 	monCfg                     func(float64) monitor.Config
+
+	// lsSlowMode and batchRelMode are the per-client per-mode performance
+	// deltas, indexed [client][core.Mode]: the LS thread's slowdown
+	// (applied to the perf factor) and the batch thread's throughput
+	// relative to equal partitioning. Resolved once before the first
+	// window — from the calibration table or the uniform scalars — so the
+	// hot loop pays one array index per core-window, nothing per request.
+	lsSlowMode   [][3]float64
+	batchRelMode [][3]float64
 
 	targets []float64
 	qcfgs   []queueing.Config
@@ -352,10 +437,16 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	// Per-client service configs and SLO-scaled targets.
+	// Per-client service configs, SLO-scaled targets and per-mode
+	// performance deltas. With a calibration table each client gets its
+	// own (service, batch) pair's cycle-level-derived cells; without one,
+	// every client shares the uniform scalars (and reproduces the
+	// pre-calibration arithmetic bit-for-bit).
 	n := len(cfg.Traffic.Clients)
 	targets := make([]float64, n)
 	qcfgs := make([]queueing.Config, n)
+	lsSlowMode := make([][3]float64, n)
+	batchRelMode := make([][3]float64, n)
 	for ci, cl := range cfg.Traffic.Clients {
 		svc := workload.Services()[cl.Service]
 		targets[ci] = svc.QoSTargetMs * cl.SLO.Scale()
@@ -364,6 +455,16 @@ func Run(cfg Config) (Result, error) {
 			ServiceCV: svc.ServiceCV, BurstProb: svc.BurstProb, BurstLen: svc.BurstLen,
 			QoSQuantile: svc.QoSQuantile, QoSTargetMs: targets[ci],
 			Estimator: est,
+		}
+		if cfg.Calibration != nil {
+			b := BatchPairing(cl)
+			pb, _ := cfg.Calibration.Lookup(cl.Service, b, core.ModeB)
+			pq, _ := cfg.Calibration.Lookup(cl.Service, b, core.ModeQ)
+			lsSlowMode[ci] = [3]float64{0, pb.LSSlowdown, pq.LSSlowdown}
+			batchRelMode[ci] = [3]float64{1, 1 + pb.BatchSpeedup, 1 + pq.BatchSpeedup}
+		} else {
+			lsSlowMode[ci] = [3]float64{0, cfg.LSSlowdownB, 0}
+			batchRelMode[ci] = [3]float64{1, 1 + cfg.BatchSpeedupB, 1 - qCost}
 		}
 	}
 
@@ -383,18 +484,19 @@ func Run(cfg Config) (Result, error) {
 	perfGen := cfg.Scenario.PerfFactors(cfg.Servers)
 	e := &engine{
 		nCores: nCores, windows: windows, windowReq: windowReq,
-		bGain: cfg.BatchSpeedupB, lsSlow: cfg.LSSlowdownB, qCost: qCost,
 		migPenalty: sched.MigrationPenalty, monCfg: monCfg,
-		targets:  targets,
-		qcfgs:    qcfgs,
-		perf:     make([]float64, nCores),
-		streams:  make([]rng.Stream, nCores),
-		states:   make([]coreState, nCores),
-		tails:    make([]float64, nCores*windows),
-		batchRel: make([]float64, nCores*windows),
-		modeB:    make([]bool, nCores*windows),
-		client:   make([]int16, nCores*windows),
-		errs:     make([]error, nCores),
+		lsSlowMode:   lsSlowMode,
+		batchRelMode: batchRelMode,
+		targets:      targets,
+		qcfgs:        qcfgs,
+		perf:         make([]float64, nCores),
+		streams:      make([]rng.Stream, nCores),
+		states:       make([]coreState, nCores),
+		tails:        make([]float64, nCores*windows),
+		batchRel:     make([]float64, nCores*windows),
+		modeB:        make([]bool, nCores*windows),
+		client:       make([]int16, nCores*windows),
+		errs:         make([]error, nCores),
 	}
 	for c := 0; c < nCores; c++ {
 		e.perf[c] = perfGen[c/cfg.CoresPerServer]
@@ -495,10 +597,15 @@ func Run(cfg Config) (Result, error) {
 	// Deterministic aggregation in core order — the exact accumulation
 	// order of the former core-major engine, so aggregate floats (and the
 	// golden files derived from them) are bit-identical.
+	calibHash := ""
+	if cfg.Calibration != nil {
+		calibHash = cfg.Calibration.Hash
+	}
 	res := Result{
 		Cores: nCores, Windows: windows, WindowSec: cfg.Traffic.WindowSec,
 		Policy:             sched.Policy,
 		TailEstimator:      est,
+		CalibrationHash:    calibHash,
 		TotalCoreHours:     float64(nCores) * cfg.Traffic.Hours(),
 		Migrations:         migrations,
 		DrainedCoreWindows: drainedCoreWindows,
@@ -521,7 +628,7 @@ func Run(cfg Config) (Result, error) {
 	cms := make([]ClientMetrics, n)
 	for ci, cl := range cfg.Traffic.Clients {
 		cms[ci] = ClientMetrics{
-			Client: cl.Name, Service: cl.Service, SLO: cl.SLO,
+			Client: cl.Name, Service: cl.Service, Batch: BatchPairing(cl), SLO: cl.SLO,
 			Cores: initialCores[ci], TargetMs: targets[ci],
 		}
 	}
@@ -545,6 +652,10 @@ func Run(cfg Config) (Result, error) {
 			if e.modeB[idx] {
 				cm.EngagedCoreHours += windowHours
 			}
+			// The fleet-wide gain keeps its own accumulator (in core-major
+			// order, part of the byte-identical goldens contract) alongside
+			// the per-client one; per-client gains sum to the fleet total.
+			cm.BatchCoreHoursGained += (e.batchRel[idx] - 1) * windowHours
 			res.BatchCoreHoursGained += (e.batchRel[idx] - 1) * windowHours
 		}
 		sw := e.states[c].switches
@@ -612,8 +723,12 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, sha
 	}
 	mode := st.ctl.Mode()
 	perf := e.perf[c]
-	if mode == core.ModeB {
-		perf *= 1 - e.lsSlow
+	// The engaged mode's calibrated LS delta: positive slows the service
+	// (B-mode), negative speeds it up (a calibrated Q-mode cell). Guarded
+	// so disengaged modes multiply nothing and stay bit-identical to the
+	// pre-calibration arithmetic.
+	if s := e.lsSlowMode[ci][mode]; s != 0 {
+		perf *= 1 - s
 	}
 	if asg.Migrated[c] {
 		perf *= 1 - e.migPenalty
@@ -632,25 +747,27 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, sha
 		}
 		tail = qr.QoSMs
 	}
-	// An idle window (a Poisson draw of zero arrivals) reads as zero
-	// tail: maximal slack.
+	// An idle window — a Poisson draw of zero arrivals, or a window the
+	// scheduler routed no load to — skips the queueing simulation entirely
+	// and reads as zero tail: maximal slack. This is deliberate: a core
+	// with nothing to serve cannot violate its target, its controller sees
+	// the deepest possible headroom (driving it toward B-mode), and the
+	// zero is recorded like any other tail under both estimators — it
+	// lands in the exact samples and in the histogram shard's bottom
+	// bucket alike, so idle windows pull the measured quantiles down
+	// rather than being silently dropped.
 	e.tails[idx] = tail
 	if shard != nil {
 		shard[ci].Add(tail)
 	}
-	switch mode {
-	case core.ModeB:
+	if mode == core.ModeB {
 		e.modeB[idx] = true
-		if asg.Migrated[c] && e.migPenalty > 0 {
-			// Warming the new client's working set eats the bonus.
-			e.batchRel[idx] = 1
-		} else {
-			e.batchRel[idx] = 1 + e.bGain
-		}
-	case core.ModeQ:
-		e.batchRel[idx] = 1 - e.qCost
-	default:
+	}
+	if mode == core.ModeB && asg.Migrated[c] && e.migPenalty > 0 {
+		// Warming the new client's working set eats the bonus.
 		e.batchRel[idx] = 1
+	} else {
+		e.batchRel[idx] = e.batchRelMode[ci][mode]
 	}
 	st.ctl.Observe(monitor.Observation{TailMs: tail})
 }
@@ -686,6 +803,7 @@ func (e *engine) observe(w int, asg Assignment) WindowObservation {
 				co.BCores++
 				o.BCores++
 			}
+			co.BatchRel += e.batchRel[idx]
 			co.MeanSlack += e.states[c].ctl.Slack()
 			if asg.Migrated[c] {
 				o.Migrations++
@@ -722,6 +840,7 @@ func (e *engine) observe(w int, asg Assignment) WindowObservation {
 		}
 		co.MeanTailMs /= float64(co.Cores)
 		co.MeanSlack /= float64(co.Cores)
+		co.BatchRel /= float64(co.Cores)
 		if e.winSamples != nil {
 			co.TailP99Ms = e.winSamples[ci].Quantile(0.99)
 			e.winSamples[ci].Reset()

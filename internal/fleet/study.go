@@ -1,19 +1,17 @@
-// Package cluster reproduces the §VI-D impact case studies (Fig. 14): a
-// Web Search cluster and a YouTube-like video cluster with diurnal load,
-// where Stretch B-mode is engaged during the hours the service runs below
-// the engage threshold, and batch throughput is integrated over 24 hours.
-//
-// It is the 1-core, hour-grain special case of the fleet engine: the
+// The §VI-D impact case studies (Fig. 14), folded into the fleet package
+// as the 1-core, hour-grain special case of the fleet engine: a Web Search
+// cluster and a YouTube-like video cluster with diurnal load, where
+// Stretch B-mode is engaged during the hours the service runs below the
+// engage threshold, and batch throughput is integrated over 24 hours. The
 // diurnal day profiles live in internal/loadgen and the windowed mode
-// integration in internal/fleet; this package keeps the paper-facing Study
+// integration in timeline.go; this file keeps the paper-facing Study
 // vocabulary on top.
-package cluster
+package fleet
 
 import (
 	"fmt"
 
 	"stretch/internal/core"
-	"stretch/internal/fleet"
 	"stretch/internal/loadgen"
 	"stretch/internal/monitor"
 )
@@ -39,7 +37,7 @@ func YouTubeTrace() DiurnalTrace {
 	return DiurnalTrace{Name: "youtube-cluster", HourLoad: loadgen.VideoDay()}
 }
 
-// Study parameterises one case study.
+// Study parameterises one §VI-D case study.
 type Study struct {
 	Trace DiurnalTrace
 	// EngageBelow is the load threshold under which B-mode is safe (the
@@ -61,8 +59,8 @@ type HourResult struct {
 	BatchRel float64 // batch throughput relative to equal partitioning
 }
 
-// Result is the 24-hour integration.
-type Result struct {
+// StudyResult is the 24-hour integration.
+type StudyResult struct {
 	Hours []HourResult
 	// EngagedHours is how many hours B-mode was active.
 	EngagedHours int
@@ -74,12 +72,12 @@ type Result struct {
 // Run integrates the study over 24 hours. Hour-grain mode selection mirrors
 // the coarse exploitation the paper evaluates ("both cases are doing a very
 // coarse exploitation of the capabilities of Stretch").
-func (s Study) Run() (Result, error) {
-	modes, rel, engaged, err := fleet.ThresholdTimeline(s.Trace.HourLoad[:], s.EngageBelow, s.BatchSpeedupB)
+func (s Study) Run() (StudyResult, error) {
+	modes, rel, engaged, err := ThresholdTimeline(s.Trace.HourLoad[:], s.EngageBelow, s.BatchSpeedupB)
 	if err != nil {
-		return Result{}, err
+		return StudyResult{}, err
 	}
-	res := Result{EngagedHours: engaged}
+	res := StudyResult{EngagedHours: engaged}
 	var sum float64
 	for h, load := range s.Trace.HourLoad {
 		res.Hours = append(res.Hours, HourResult{Hour: h, Load: load, Mode: modes[h], BatchRel: rel[h]})
@@ -97,15 +95,15 @@ func (s Study) Run() (Result, error) {
 // switch count — demonstrating that hysteresis keeps flips infrequent even
 // at fine granularity.
 func (s Study) RunWithController(ctl *monitor.Controller, windowsPerHour int,
-	tailAt func(load float64, mode core.Mode) float64) (Result, error) {
+	tailAt func(load float64, mode core.Mode) float64) (StudyResult, error) {
 	if windowsPerHour <= 0 {
-		return Result{}, fmt.Errorf("cluster: need at least one window per hour")
+		return StudyResult{}, fmt.Errorf("fleet: need at least one window per hour")
 	}
-	modes, frac, err := fleet.ControlledTimeline(s.Trace.HourLoad[:], ctl, windowsPerHour, tailAt)
+	modes, frac, err := ControlledTimeline(s.Trace.HourLoad[:], ctl, windowsPerHour, tailAt)
 	if err != nil {
-		return Result{}, err
+		return StudyResult{}, err
 	}
-	var res Result
+	var res StudyResult
 	var sum float64
 	for h, load := range s.Trace.HourLoad {
 		hr := HourResult{Hour: h, Load: load, Mode: modes[h], BatchRel: 1 + s.BatchSpeedupB*frac[h]}

@@ -1,4 +1,4 @@
-package cluster
+package fleet
 
 import (
 	"testing"
@@ -42,7 +42,7 @@ func TestPaperEngageableHours(t *testing.T) {
 	}
 }
 
-func TestRunGainMath(t *testing.T) {
+func TestStudyRunGainMath(t *testing.T) {
 	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
 	res, err := s.Run()
 	if err != nil {
@@ -65,7 +65,7 @@ func TestRunGainMath(t *testing.T) {
 	}
 }
 
-func TestRunValidation(t *testing.T) {
+func TestStudyRunValidation(t *testing.T) {
 	if _, err := (Study{Trace: WebSearchTrace(), EngageBelow: 0}).Run(); err == nil {
 		t.Fatal("zero threshold accepted")
 	}
@@ -74,7 +74,7 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
-func TestRunWithControllerTracksLoad(t *testing.T) {
+func TestStudyRunWithControllerTracksLoad(t *testing.T) {
 	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13, LSSlowdownB: 0.07}
 	ctl, err := monitor.New(monitor.DefaultConfig(100))
 	if err != nil {
@@ -110,7 +110,7 @@ func TestRunWithControllerTracksLoad(t *testing.T) {
 	}
 }
 
-func TestRunWithControllerSingleWindowPerHour(t *testing.T) {
+func TestStudyRunWithControllerSingleWindowPerHour(t *testing.T) {
 	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
 	ctl, err := monitor.New(monitor.DefaultConfig(100))
 	if err != nil {
@@ -141,7 +141,7 @@ func TestRunWithControllerSingleWindowPerHour(t *testing.T) {
 	}
 }
 
-func TestRunWithControllerNeverEngages(t *testing.T) {
+func TestStudyRunWithControllerNeverEngages(t *testing.T) {
 	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
 	ctl, err := monitor.New(monitor.DefaultConfig(100))
 	if err != nil {
@@ -167,7 +167,7 @@ func TestRunWithControllerNeverEngages(t *testing.T) {
 	}
 }
 
-func TestRunWithControllerHysteresisLimitsSwitches(t *testing.T) {
+func TestStudyRunWithControllerHysteresisLimitsSwitches(t *testing.T) {
 	s := Study{Trace: WebSearchTrace(), EngageBelow: 0.85, BatchSpeedupB: 0.13}
 	ctl, err := monitor.New(monitor.DefaultConfig(100))
 	if err != nil {

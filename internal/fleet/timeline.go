@@ -1,5 +1,5 @@
 // Single-core mode-timeline engines: the windowed integration primitives
-// the fleet engine is built from. internal/cluster's §VI-D case studies are
+// the fleet engine is built from. The §VI-D case studies (study.go) are
 // the 1-core, hour-grain special case of these.
 package fleet
 

@@ -281,6 +281,13 @@ type Client struct {
 	Name string
 	// Service is the latency-sensitive workload serving this client.
 	Service string
+	// Batch names the batch workload colocated on this client's cores —
+	// the other hardware thread of every SMT core the client holds. It
+	// selects the calibration row a calibrated fleet applies to the
+	// client's B-/Q-mode deltas; empty means the fleet's default pairing.
+	// loadgen treats it as an opaque label (the fleet layer validates it
+	// against the workload catalogue).
+	Batch string
 	// Fraction is this client's share of the fleet's cores.
 	Fraction float64
 	// SLO selects the QoS-target class.

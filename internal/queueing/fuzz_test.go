@@ -31,7 +31,7 @@ func FuzzSimulate(f *testing.F) {
 			return
 		}
 		rate = math.Mod(rate, 1e7)
-		if rate <= 0 || nReq <= 0 || perf <= 0 || perf > 1 || math.IsNaN(rate) || math.IsNaN(perf) {
+		if rate <= 0 || nReq <= 0 || perf <= 0 || perf > MaxPerfFactor || math.IsNaN(rate) || math.IsNaN(perf) {
 			// Out-of-contract arguments must be rejected, not crash.
 			if _, err := Simulate(cfg, rate, nReq, perf, seed); err == nil {
 				t.Fatalf("accepted rate=%v nReq=%d perf=%v", rate, nReq, perf)

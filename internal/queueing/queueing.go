@@ -8,7 +8,10 @@
 // Core performance couples in through a single perf factor: a service
 // running at fraction f of full single-thread performance has its service
 // times stretched by 1/f (§II's Elfen-style fine-grain interleaving, or
-// SMT contention, or a Stretch partition choice).
+// SMT contention, or a Stretch partition choice). Factors above 1 are
+// legal up to MaxPerfFactor: a calibrated Q-mode cell widens the LS
+// thread's window past the equal-partitioning baseline the service times
+// are normalised to, genuinely shortening them.
 //
 // Invariants: a simulation is a pure function of (Config, rate, nRequests,
 // perfFactor, seed) — bit-identical on every run, with Simulator state
@@ -26,6 +29,12 @@ import (
 	"stretch/internal/rng"
 	"stretch/internal/stats"
 )
+
+// MaxPerfFactor bounds the perf factor a simulation accepts. Sub-unity
+// factors model contention and B-mode slowdowns; factors modestly above 1
+// model Q-mode speedups relative to the equal-partitioning baseline.
+// Anything larger is a calibration bug, not a plausible core.
+const MaxPerfFactor = 4
 
 // Config describes a service's request-level behaviour.
 type Config struct {
@@ -186,8 +195,8 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 	if ratePerSec <= 0 || nRequests <= 0 {
 		return Result{}, fmt.Errorf("queueing: non-positive rate or request count")
 	}
-	if perfFactor <= 0 || perfFactor > 1 {
-		return Result{}, fmt.Errorf("queueing: perf factor %v out of (0,1]", perfFactor)
+	if perfFactor <= 0 || perfFactor > MaxPerfFactor || math.IsNaN(perfFactor) {
+		return Result{}, fmt.Errorf("queueing: perf factor %v out of (0,%v]", perfFactor, float64(MaxPerfFactor))
 	}
 
 	arr := rng.New(seed).Derive(1)

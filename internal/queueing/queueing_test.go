@@ -56,8 +56,21 @@ func TestSimulateArgumentChecks(t *testing.T) {
 	if _, err := Simulate(cfg(), 100, 1000, 0, 1); err == nil {
 		t.Fatal("zero perf accepted")
 	}
-	if _, err := Simulate(cfg(), 100, 1000, 1.5, 1); err == nil {
-		t.Fatal("perf > 1 accepted")
+	if _, err := Simulate(cfg(), 100, 1000, MaxPerfFactor+0.5, 1); err == nil {
+		t.Fatal("perf > MaxPerfFactor accepted")
+	}
+	// A modest super-unity factor is legal: a calibrated Q-mode core runs
+	// the service faster than the equal-partitioning baseline.
+	fast, err := Simulate(cfg(), 100, 1000, 1.1, 1)
+	if err != nil {
+		t.Fatalf("perf 1.1 rejected: %v", err)
+	}
+	base, err := Simulate(cfg(), 100, 1000, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.MeanMs >= base.MeanMs {
+		t.Fatalf("perf 1.1 mean %v not below perf 1 mean %v", fast.MeanMs, base.MeanMs)
 	}
 }
 

@@ -32,7 +32,13 @@
 //     mergeable log-bucketed histograms by default (TailEstimator), which
 //     is what lets the fleet scale to tens of thousands of cores with
 //     constant per-core memory; the exact sorted-sample estimator remains
-//     available for small runs and accuracy comparisons.
+//     available for small runs and accuracy comparisons. The fleet's
+//     per-mode performance arithmetic can be calibrated from the
+//     cycle-level layer (CalibrationTable, DefaultCalibration): each
+//     client's B-/Q-mode LS slowdown and batch credit then come from its
+//     own (service, batch-pairing) colocation's measured cells instead of
+//     fleet-wide scalars, making datacenter-level throughput claims
+//     traceable to the paper's microarchitectural model.
 //
 // Quick start:
 //
@@ -46,6 +52,7 @@ package stretch
 import (
 	"fmt"
 
+	"stretch/internal/calib"
 	"stretch/internal/colocate"
 	"stretch/internal/core"
 	"stretch/internal/experiments"
@@ -383,9 +390,54 @@ type FleetScenario = loadgen.Scenario
 // "drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85".
 func ParseFleetEvents(s string) (FleetScenario, error) { return loadgen.ParseEvents(s) }
 
+// CalibrationTable maps every calibrated (service, batch) colocation to
+// its per-mode performance deltas — LS slowdown and batch speedup relative
+// to equal partitioning — derived from the cycle-level core model. Set it
+// on FleetConfig.Calibration to make the fleet's B-/Q-mode arithmetic
+// pair-specific (the §V observation that Stretch's gains vary widely
+// across colocations); leave it nil for the legacy uniform scalars.
+type CalibrationTable = calib.Table
+
+// CalibrationInputs pins everything a calibration table is a function of:
+// the service × batch grid, the B-/Q-mode skews, and the sampling spec.
+// Tables are content-addressed by CalibrationInputs.Fingerprint.
+type CalibrationInputs = calib.Inputs
+
+// CalibrationCell is one (service, batch, mode) delta pair.
+type CalibrationCell = calib.Cell
+
+// DefaultBatchPairing is the batch workload assumed for a TrafficClient
+// whose Batch field is empty.
+const DefaultBatchPairing = fleet.DefaultBatchPairing
+
+// DefaultCalibration returns the committed default calibration table: the
+// full service × batch catalogue at the headline 56-136 / 136-56 skews,
+// pre-built so no cycle-level cost is paid at load time.
+func DefaultCalibration() (*CalibrationTable, error) { return calib.Default() }
+
+// DefaultCalibrationInputs returns the inputs the committed default table
+// was built from.
+func DefaultCalibrationInputs() CalibrationInputs { return calib.DefaultInputs() }
+
+// BuildCalibrationTable runs the cycle-level model over the inputs' grid —
+// the expensive path — and returns the per-pair per-mode table.
+// Deterministic: the same inputs build the same table at any GOMAXPROCS.
+func BuildCalibrationTable(in CalibrationInputs) (*CalibrationTable, error) { return calib.Build(in) }
+
+// LoadCalibrationTable reads and verifies a cached table from disk.
+func LoadCalibrationTable(path string) (*CalibrationTable, error) { return calib.Load(path) }
+
+// CachedCalibrationTable returns the table for in, paying cycle-level cost
+// at most once per content hash: a cache file whose stored hash matches
+// the inputs' fingerprint is loaded; anything else (missing, stale,
+// tampered) triggers a rebuild and rewrite.
+func CachedCalibrationTable(path string, in CalibrationInputs) (*CalibrationTable, error) {
+	return calib.Cached(path, in)
+}
+
 // FleetConfig parameterises a datacenter-scale run: fleet size, traffic,
-// measured B-mode deltas, request budget, worker pool, seed, scheduler
-// policy and scenario events.
+// B-mode deltas (a CalibrationTable or the uniform scalars), request
+// budget, worker pool, seed, scheduler policy and scenario events.
 type FleetConfig = fleet.Config
 
 // FleetResult aggregates a fleet run: per-client tails and violations,
