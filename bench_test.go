@@ -6,6 +6,7 @@
 package stretch
 
 import (
+	"bytes"
 	"testing"
 
 	"stretch/internal/branch"
@@ -215,4 +216,32 @@ func BenchmarkFleetCalibrated1kCores(b *testing.B) {
 // enable: 10000 cores with memory independent of the request count.
 func BenchmarkFleet10kCores(b *testing.B) {
 	benchFleet(b, benchFleetConfig(625, EstimatorDefault)) // 10000 cores
+}
+
+// BenchmarkFleetTraceReplay1kCores guards the trace-replay path at fleet
+// scale: the 1008-core benchmark traffic is synthesised into a trace file
+// once (encode + strict re-parse outside the timer), then every iteration
+// replays the parsed trace. The delta against BenchmarkFleet1kCores is
+// the cost of consuming recorded rates instead of drawing them — which
+// should be nil, since replayed timelines skip the per-window draws.
+func BenchmarkFleetTraceReplay1kCores(b *testing.B) {
+	cfg := benchFleetConfig(63, EstimatorDefault)
+	tr, err := SynthTrace(TraceSynthSpec{Traffic: cfg.Traffic, Seed: cfg.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	parsed, err := ParseTrace(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	traffic, err := parsed.Traffic()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Traffic = traffic
+	benchFleet(b, cfg)
 }

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -13,6 +14,7 @@ import (
 	"stretch/internal/loadgen"
 	"stretch/internal/sampling"
 	"stretch/internal/stats"
+	"stretch/internal/tracefile"
 	"stretch/internal/workload"
 )
 
@@ -36,32 +38,22 @@ type fleetParams struct {
 // fleetTraces lists the named traffic specs.
 func fleetTraces() []string { return []string{"websearch", "video", "mixed", "failover"} }
 
-// buildFleetConfig materialises the named trace, policy and event list
-// into a fleet.Config. The failover trace ships a default scenario —
-// a quarter of the servers fail mid-day and return later, on a fleet
-// whose last quarter of servers is an older hardware generation — unless
-// -events overrides it.
-func buildFleetConfig(p fleetParams) (fleet.Config, error) {
-	nCores := p.servers * p.cores
-	windows := int(p.hours * float64(p.wph))
-	windowsPerDay := 24 * p.wph
-	windowSec := 3600.0 / float64(p.wph)
-	if windows <= 0 {
-		return fleet.Config{}, fmt.Errorf("non-positive fleet horizon")
+func isNamedTrace(name string) bool {
+	for _, t := range fleetTraces() {
+		if t == name {
+			return true
+		}
 	}
+	return false
+}
 
-	policy, err := fleet.ParsePolicy(p.policy)
-	if err != nil {
-		return fleet.Config{}, err
-	}
-	estimator, err := stats.ParseTailEstimator(p.estimator)
-	if err != nil {
-		return fleet.Config{}, err
-	}
-	scenario, err := loadgen.ParseEvents(p.events)
-	if err != nil {
-		return fleet.Config{}, err
-	}
+// namedSpecClients materialises one of the named generative traffic specs
+// for a fleet of servers × cores SMT cores over the given horizon. It is
+// shared by -fleet (which simulates the spec directly) and synth (which
+// records its realisation into a trace file).
+func namedSpecClients(name string, servers, cores, windows, wph int, seed uint64) ([]loadgen.Client, error) {
+	nCores := servers * cores
+	windowsPerDay := 24 * wph
 
 	// Anchor each service's traffic at its peak sustainable per-core rate
 	// (memoised: the PeakLoad bisection is the expensive part of startup).
@@ -70,7 +62,7 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 		if pk, ok := peaks[svc]; ok {
 			return pk, nil
 		}
-		pk, err := fleet.PeakRPSPerCore(svc, 4000, p.seed)
+		pk, err := fleet.PeakRPSPerCore(svc, 4000, seed)
 		if err == nil {
 			peaks[svc] = pk
 		}
@@ -96,7 +88,7 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 		// Burst shape for the kvstore client: half-hour spikes every third
 		// of the horizon. Clamp so coarse grains keep a real burst and tiny
 		// horizons degrade to a single burst instead of a permanent one.
-		burstLen := p.wph / 2
+		burstLen := wph / 2
 		if burstLen < 1 {
 			burstLen = 1
 		}
@@ -137,40 +129,90 @@ func buildFleetConfig(p fleetParams) (fleet.Config, error) {
 		}, nil
 	}
 
-	var clients []loadgen.Client
-	switch p.trace {
+	switch name {
 	case "websearch":
 		spec, err := diurnal(workload.WebSearch, loadgen.WebSearchDay(), float64(nCores))
 		if err != nil {
-			return fleet.Config{}, err
+			return nil, err
 		}
-		clients = []loadgen.Client{{
+		return []loadgen.Client{{
 			Name: "search", Service: workload.WebSearch, Batch: workload.Zeusmp, Fraction: 1, Spec: spec,
-		}}
+		}}, nil
 	case "video":
 		spec, err := diurnal(workload.MediaStreaming, loadgen.VideoDay(), float64(nCores))
 		if err != nil {
-			return fleet.Config{}, err
+			return nil, err
 		}
-		clients = []loadgen.Client{{
+		return []loadgen.Client{{
 			Name: "video", Service: workload.MediaStreaming, Batch: "libquantum", Fraction: 1, Spec: spec,
-		}}
-	case "mixed":
-		clients, err = mixedClients()
+		}}, nil
+	case "mixed", "failover":
+		return mixedClients()
+	default:
+		return nil, fmt.Errorf("unknown fleet trace %q (%s, or a trace file path)",
+			name, strings.Join(fleetTraces(), "|"))
+	}
+}
+
+// buildFleetConfig materialises the trace, policy and event list into a
+// fleet.Config. The trace is either a named generative spec or the path
+// of a recorded trace file to replay; replay adopts the file's horizon
+// (overwriting p.hours so the report header reflects it) and its embedded
+// scenario annotations. The failover spec ships a default scenario — a
+// quarter of the servers fail mid-day and return later, on a fleet whose
+// last quarter of servers is an older hardware generation. -events
+// overrides either source of events.
+func buildFleetConfig(p *fleetParams) (fleet.Config, error) {
+	policy, err := fleet.ParsePolicy(p.policy)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	estimator, err := stats.ParseTailEstimator(p.estimator)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	scenario, err := loadgen.ParseEvents(p.events)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+
+	var (
+		clients   []loadgen.Client
+		windows   int
+		windowSec float64
+	)
+	if isNamedTrace(p.trace) {
+		windows = int(p.hours * float64(p.wph))
+		windowSec = 3600.0 / float64(p.wph)
+		if windows <= 0 {
+			return fleet.Config{}, fmt.Errorf("non-positive fleet horizon")
+		}
+		clients, err = namedSpecClients(p.trace, p.servers, p.cores, windows, p.wph, p.seed)
 		if err != nil {
 			return fleet.Config{}, err
 		}
-	case "failover":
-		clients, err = mixedClients()
-		if err != nil {
-			return fleet.Config{}, err
-		}
-		if p.events == "" {
+		if p.trace == "failover" && p.events == "" {
 			scenario = failoverScenario(p.servers, windows)
 		}
-	default:
-		return fleet.Config{}, fmt.Errorf("unknown fleet trace %q (%s)",
-			p.trace, strings.Join(fleetTraces(), "|"))
+	} else {
+		if _, statErr := os.Stat(p.trace); statErr != nil {
+			return fleet.Config{}, fmt.Errorf("unknown fleet trace %q (%s, or a trace file path)",
+				p.trace, strings.Join(fleetTraces(), "|"))
+		}
+		t, err := tracefile.Load(p.trace)
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		traffic, err := t.Traffic()
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		clients = traffic.Clients
+		windows, windowSec = t.Windows, t.WindowSec
+		p.hours = t.Hours()
+		if p.events == "" {
+			scenario = t.Events
+		}
 	}
 
 	table, err := resolveCalibration(p.calib, clients)

@@ -1,17 +1,24 @@
 // Command stretchsim regenerates the paper's tables and figures from the
-// simulator, and runs datacenter-scale fleet studies over synthetic
-// traffic.
+// simulator, runs datacenter-scale fleet studies over synthetic traffic,
+// and synthesises/replays recorded traffic traces.
 //
 // Usage:
 //
 //	stretchsim -list
 //	stretchsim -experiment fig9 [-scale full]
 //	stretchsim -experiment all [-scale quick]
-//	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed]
+//	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed|<file>]
 //	           [-policy static|proportional|p2c|feedback] [-events "drain:24:0,..."]
 //	           [-tail-estimator histogram|exact] [-calib default|<path.json>]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
 //	           [-seed 1] [-fleet-workers 0] [-window-trace]
+//	stretchsim synth [-spec mixed] [-servers 64] [-cores 16] [-hours 168]
+//	           [-windows-per-hour 4] [-seed 1] [-arrival gamma:1.5]
+//	           [-cohorts 4:1:6] [-events "..."] [-format csv|jsonl] [-o week.trace.csv]
+//
+// A -trace value that is not a named spec is replayed from that trace
+// file (as written by synth or by fleet tooling recording production
+// traffic); the replay adopts the file's horizon and embedded events.
 package main
 
 import (
@@ -25,6 +32,11 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "synth" {
+		runSynth(os.Args[2:])
+		return
+	}
+
 	var (
 		list  = flag.Bool("list", false, "list available experiments")
 		exp   = flag.String("experiment", "all", "experiment id (e.g. fig9) or 'all'")
@@ -33,7 +45,7 @@ func main() {
 		fleetMode  = flag.Bool("fleet", false, "run a datacenter-scale fleet study instead of experiments")
 		servers    = flag.Int("servers", 64, "fleet: number of servers")
 		cores      = flag.Int("cores", 16, "fleet: SMT cores per server")
-		traceName  = flag.String("trace", "mixed", "fleet: traffic spec (websearch|video|mixed|failover)")
+		traceName  = flag.String("trace", "mixed", "fleet: traffic source — a named spec (websearch|video|mixed|failover) or a trace file path to replay")
 		policy     = flag.String("policy", "static", "fleet: scheduler policy (static|proportional|p2c|feedback)")
 		estimator  = flag.String("tail-estimator", "histogram", "fleet: tail quantile estimator (histogram|exact)")
 		calibFlag  = flag.String("calib", "", "fleet: per-(service,batch,mode) calibration from the cycle-level model: \"default\" for the committed table, a .json path for an on-disk cache (built on miss), empty for uniform scalars")
@@ -106,9 +118,10 @@ func main() {
 	run(n)
 }
 
-// runFleet builds the named traffic spec and simulates the fleet.
+// runFleet builds the traffic source — a named spec or a trace file —
+// and simulates the fleet.
 func runFleet(p fleetParams) {
-	cfg, err := buildFleetConfig(p)
+	cfg, err := buildFleetConfig(&p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stretchsim: %v\n", err)
 		os.Exit(2)

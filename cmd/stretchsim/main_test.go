@@ -76,7 +76,7 @@ func TestFleetGolden(t *testing.T) {
 				p.estimator = tc.estimator
 			}
 			p.calib = tc.calib
-			cfg, err := buildFleetConfig(p)
+			cfg, err := buildFleetConfig(&p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -109,7 +109,7 @@ func TestFleetGolden(t *testing.T) {
 // consistent with one server out for a third of the horizon.
 func TestFleetGoldenRerouting(t *testing.T) {
 	p := goldenParams("failover", "proportional")
-	cfg, err := buildFleetConfig(p)
+	cfg, err := buildFleetConfig(&p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestFeedbackBeatsProportionalOnFailover(t *testing.T) {
 		t.Helper()
 		p := goldenParams("failover", policy)
 		p.hours = 24
-		cfg, err := buildFleetConfig(p)
+		cfg, err := buildFleetConfig(&p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func TestFeedbackBeatsProportionalOnFailover(t *testing.T) {
 // per window plus the two header lines.
 func TestWindowTraceOutput(t *testing.T) {
 	p := goldenParams("mixed", "proportional")
-	cfg, err := buildFleetConfig(p)
+	cfg, err := buildFleetConfig(&p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,14 +213,14 @@ func TestBuildFleetConfigRejectsBadInput(t *testing.T) {
 	for i, mutate := range bad {
 		p := goldenParams("mixed", "static")
 		mutate(&p)
-		if _, err := buildFleetConfig(p); err == nil {
+		if _, err := buildFleetConfig(&p); err == nil {
 			t.Errorf("mutation %d accepted", i)
 		}
 	}
 	// Events parse and validate against the fleet.
 	p := goldenParams("mixed", "proportional")
 	p.events = "drain:4:0,restore:12:0,surge:6-12:video:1.5,perf:3:0.9"
-	cfg, err := buildFleetConfig(p)
+	cfg, err := buildFleetConfig(&p)
 	if err != nil {
 		t.Fatal(err)
 	}

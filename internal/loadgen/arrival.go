@@ -1,0 +1,234 @@
+// Arrival-process realism beyond Poisson, and client cohorts — the
+// ServeGen-style ingredients for synthesising traffic that looks like
+// recorded production traces. A window's realised request population can
+// be exact, Poisson, or an overdispersed Gamma/Weibull mixture (a
+// Gamma-mixed Poisson is the classic model for the burstiness plain
+// Poisson misses), and one logical client can expand into a cohort of
+// members with Zipf-skewed rate shares and phase-shifted day shapes.
+// Everything stays deterministic: mixtures draw from the same per-client
+// seed-derived streams as the Poisson noise, and cohort expansion is pure
+// arithmetic.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Arrival selects the window-population noise model layered on a Spec's
+// deterministic shape.
+type Arrival int
+
+// Arrival processes.
+const (
+	// ArrivalDefault defers to the legacy Spec.Poisson flag: Poisson
+	// noise when set, exact rates otherwise.
+	ArrivalDefault Arrival = iota
+	// ArrivalExact carries each window's exact mean rate — no noise.
+	// Replayed traces use it: their rates are already realised.
+	ArrivalExact
+	// ArrivalPoisson draws each window's request population from a
+	// Poisson distribution with the shape's mean (variance = mean).
+	ArrivalPoisson
+	// ArrivalGamma is a Gamma-mixed Poisson: each window's true rate is a
+	// Gamma draw with mean 1 and the spec's CV around the shape's mean,
+	// then the population is Poisson at that rate. Counts are
+	// overdispersed — bursty the way production arrival streams are.
+	ArrivalGamma
+	// ArrivalWeibull modulates the Poisson rate with a mean-1 Weibull
+	// multiplier instead; sub-exponential shapes (CV > 1) produce rare
+	// deep excursions rather than steady jitter.
+	ArrivalWeibull
+)
+
+// String names the process.
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalDefault:
+		return "default"
+	case ArrivalExact:
+		return "exact"
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalGamma:
+		return "gamma"
+	case ArrivalWeibull:
+		return "weibull"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// weibullCVRange bounds the CV the Weibull knob accepts: the shape
+// inversion below covers it comfortably, and anything outside is a typo,
+// not a workload.
+const (
+	minWeibullCV = 0.05
+	maxWeibullCV = 20.0
+)
+
+// resolveProcess merges the legacy Poisson flag with the explicit Process
+// field and validates the CV knob against the resolved process.
+func (s Spec) resolveProcess() (Arrival, error) {
+	proc := s.Process
+	switch proc {
+	case ArrivalDefault:
+		proc = ArrivalExact
+		if s.Poisson {
+			proc = ArrivalPoisson
+		}
+	case ArrivalExact, ArrivalGamma, ArrivalWeibull:
+		if s.Poisson {
+			return 0, fmt.Errorf("loadgen: spec sets both Poisson and process %s", proc)
+		}
+	case ArrivalPoisson:
+		// The flag and the explicit process agree; nothing to reconcile.
+	default:
+		return 0, fmt.Errorf("loadgen: unknown arrival process %d", int(s.Process))
+	}
+	switch proc {
+	case ArrivalGamma:
+		if !(s.CV > 0) || math.IsInf(s.CV, 0) {
+			return 0, fmt.Errorf("loadgen: %s arrivals need a positive finite CV (got %v)", proc, s.CV)
+		}
+	case ArrivalWeibull:
+		if !(s.CV >= minWeibullCV) || !(s.CV <= maxWeibullCV) {
+			return 0, fmt.Errorf("loadgen: weibull arrival CV %v out of [%v,%v]", s.CV, minWeibullCV, maxWeibullCV)
+		}
+	default:
+		if s.CV != 0 {
+			return 0, fmt.Errorf("loadgen: CV %v set but %s arrivals take none", s.CV, proc)
+		}
+	}
+	return proc, nil
+}
+
+// weibullShapeFromCV inverts the Weibull coefficient of variation to the
+// distribution's shape parameter k: cv²(k) = Γ(1+2/k)/Γ(1+1/k)² − 1,
+// strictly decreasing in k, bisected to machine-precision convergence so
+// the inversion is deterministic.
+func weibullShapeFromCV(cv float64) (float64, error) {
+	if !(cv >= minWeibullCV) || !(cv <= maxWeibullCV) {
+		return 0, fmt.Errorf("loadgen: weibull arrival CV %v out of [%v,%v]", cv, minWeibullCV, maxWeibullCV)
+	}
+	cvOf := func(k float64) float64 {
+		g1 := math.Gamma(1 + 1/k)
+		return math.Sqrt(math.Gamma(1+2/k)/(g1*g1) - 1)
+	}
+	lo, hi := 0.05, 60.0 // cvOf(0.05) ≈ 4e3, cvOf(60) ≈ 0.024: brackets the accepted CV range
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cvOf(mid) > cv {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ParseArrival parses an arrival-process string: "exact", "poisson",
+// "gamma:<cv>" or "weibull:<cv>". It returns the process and its CV knob
+// (zero for the unparameterised processes).
+func ParseArrival(s string) (Arrival, float64, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(s), ":")
+	switch name {
+	case "exact", "poisson":
+		if hasArg {
+			return 0, 0, fmt.Errorf("loadgen: arrival %q takes no parameter", name)
+		}
+		if name == "exact" {
+			return ArrivalExact, 0, nil
+		}
+		return ArrivalPoisson, 0, nil
+	case "gamma", "weibull":
+		cv, err := strconv.ParseFloat(arg, 64)
+		if !hasArg || err != nil {
+			return 0, 0, fmt.Errorf("loadgen: arrival %q wants %s:<cv>", s, name)
+		}
+		proc := ArrivalGamma
+		if name == "weibull" {
+			proc = ArrivalWeibull
+		}
+		if _, err := (Spec{Process: proc, CV: cv}).resolveProcess(); err != nil {
+			return 0, 0, err
+		}
+		return proc, cv, nil
+	default:
+		return 0, 0, fmt.Errorf("loadgen: unknown arrival process %q (exact|poisson|gamma:<cv>|weibull:<cv>)", s)
+	}
+}
+
+// ParseSLOClass resolves an SLO class name (standard|strict|relaxed) — the
+// inverse of SLOClass.String, used by the trace-file grammar.
+func ParseSLOClass(s string) (SLOClass, error) {
+	switch s {
+	case "standard":
+		return SLOStandard, nil
+	case "strict":
+		return SLOStrict, nil
+	case "relaxed":
+		return SLORelaxed, nil
+	default:
+		return 0, fmt.Errorf("loadgen: unknown SLO class %q (standard|strict|relaxed)", s)
+	}
+}
+
+// CohortSpec describes how one logical client expands into a population
+// of cohort members — ServeGen's observation that a service's aggregate
+// traffic is really many heterogeneous client populations.
+type CohortSpec struct {
+	// Members is the cohort size.
+	Members int
+	// Skew is the Zipf exponent of the rate share across members: member
+	// i carries weight 1/(i+1)^Skew, normalised. Zero splits evenly.
+	Skew float64
+	// PhaseWindows shifts each successive member's shape by this many
+	// more windows (member i is shifted i·PhaseWindows, wrapping at the
+	// horizon), so members peak at staggered times.
+	PhaseWindows int
+}
+
+// ExpandCohort splits a client into spec.Members cohort clients named
+// "name#00", "name#01", …: each member keeps the service, batch pairing,
+// SLO class and arrival process, carries a Zipf-skewed share of the rate
+// and core fraction, and (optionally) a phase-shifted copy of the shape.
+// The expansion is deterministic — shares are normalised Zipf weights, no
+// randomness — and the members' timelines draw from their own per-client
+// streams, so their mixture noise is independent.
+func ExpandCohort(c Client, spec CohortSpec) ([]Client, error) {
+	if spec.Members < 1 {
+		return nil, fmt.Errorf("loadgen: cohort of %d members", spec.Members)
+	}
+	if spec.Skew < 0 || math.IsNaN(spec.Skew) || math.IsInf(spec.Skew, 0) {
+		return nil, fmt.Errorf("loadgen: cohort skew %v must be non-negative and finite", spec.Skew)
+	}
+	if spec.PhaseWindows < 0 {
+		return nil, fmt.Errorf("loadgen: negative cohort phase stride %d", spec.PhaseWindows)
+	}
+	if c.Spec.Shape == nil {
+		return nil, fmt.Errorf("loadgen: cohort client %q without an arrival shape", c.Name)
+	}
+	shares := make([]float64, spec.Members)
+	sum := 0.0
+	for i := range shares {
+		shares[i] = 1 / math.Pow(float64(i+1), spec.Skew)
+		sum += shares[i]
+	}
+	out := make([]Client, spec.Members)
+	for i := range out {
+		share := shares[i] / sum
+		shape := c.Spec.Shape
+		if off := i * spec.PhaseWindows; off > 0 {
+			shape = Shift{Base: shape, Offset: off}
+		}
+		m := c
+		m.Name = fmt.Sprintf("%s#%02d", c.Name, i)
+		m.Fraction = c.Fraction * share
+		m.Spec.Shape = Scale{Base: shape, Factor: share}
+		out[i] = m
+	}
+	return out, nil
+}

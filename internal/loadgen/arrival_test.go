@@ -1,0 +1,252 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stretch/internal/rng"
+)
+
+func TestResolveProcess(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want Arrival
+		ok   bool
+	}{
+		{Spec{}, ArrivalExact, true},
+		{Spec{Poisson: true}, ArrivalPoisson, true},
+		{Spec{Process: ArrivalExact}, ArrivalExact, true},
+		{Spec{Process: ArrivalPoisson, Poisson: true}, ArrivalPoisson, true},
+		{Spec{Process: ArrivalGamma, CV: 1.5}, ArrivalGamma, true},
+		{Spec{Process: ArrivalWeibull, CV: 2}, ArrivalWeibull, true},
+		{Spec{Process: ArrivalGamma, Poisson: true, CV: 1}, 0, false}, // contradiction
+		{Spec{Process: ArrivalExact, Poisson: true}, 0, false},
+		{Spec{Process: ArrivalGamma}, 0, false},                  // missing CV
+		{Spec{Process: ArrivalGamma, CV: math.Inf(1)}, 0, false}, // infinite CV
+		{Spec{Process: ArrivalGamma, CV: math.NaN()}, 0, false},  // NaN CV
+		{Spec{Process: ArrivalWeibull, CV: 0.001}, 0, false},     // below invertible range
+		{Spec{Process: ArrivalWeibull, CV: 100}, 0, false},       // above invertible range
+		{Spec{Process: ArrivalPoisson, CV: 0.5}, 0, false},       // CV without mixture
+		{Spec{CV: 0.5}, 0, false},                                // CV on exact
+		{Spec{Process: Arrival(42)}, 0, false},                   // unknown process
+	}
+	for i, c := range cases {
+		got, err := c.spec.resolveProcess()
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("case %d: got (%v, %v), want (%v, nil)", i, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("case %d: spec %+v accepted as %v", i, c.spec, got)
+		}
+	}
+}
+
+func TestWeibullShapeFromCV(t *testing.T) {
+	for _, cv := range []float64{0.1, 0.5, 1, 1.5, 3, 10} {
+		k, err := weibullShapeFromCV(cv)
+		if err != nil {
+			t.Fatalf("cv %v: %v", cv, err)
+		}
+		g1 := math.Gamma(1 + 1/k)
+		got := math.Sqrt(math.Gamma(1+2/k)/(g1*g1) - 1)
+		if math.Abs(got-cv) > 1e-9 {
+			t.Errorf("cv %v inverted to k=%v which has cv %v", cv, k, got)
+		}
+	}
+	// cv = 1 is exponential: shape must come back ≈ 1.
+	if k, _ := weibullShapeFromCV(1); math.Abs(k-1) > 1e-9 {
+		t.Errorf("cv 1 inverted to shape %v, want 1", k)
+	}
+}
+
+func TestMixtureTimelineMeanAndDeterminism(t *testing.T) {
+	for _, proc := range []Arrival{ArrivalGamma, ArrivalWeibull} {
+		spec := Spec{Shape: Constant{Rate: 200}, Process: proc, CV: 1.5}
+		a, err := spec.Timeline(3000, 10, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spec.Timeline(3000, 10, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, varsum := 0.0, 0.0
+		for w := range a {
+			if a[w] != b[w] {
+				t.Fatalf("%v: same seed diverged at window %d", proc, w)
+			}
+			sum += a[w]
+		}
+		mean := sum / float64(len(a))
+		if mean < 180 || mean > 220 {
+			t.Errorf("%v timeline mean %v, want ≈200", proc, mean)
+		}
+		for w := range a {
+			varsum += (a[w] - mean) * (a[w] - mean)
+		}
+		// Overdispersion: with CV 1.5 the window-rate CV should be far above
+		// the Poisson-only value (~sqrt(200*10)/2000 ≈ 0.02).
+		cv := math.Sqrt(varsum/float64(len(a))) / mean
+		if cv < 1.0 {
+			t.Errorf("%v timeline CV %v, want > 1 (overdispersed)", proc, cv)
+		}
+	}
+}
+
+func TestReplayShape(t *testing.T) {
+	rates := []float64{5, 10, 0, 7}
+	spec := Spec{Shape: Replay{Rates: rates}}
+	tl, err := spec.Timeline(4, 60, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range rates {
+		if tl[w] != want {
+			t.Fatalf("window %d: got %v, want %v", w, tl[w], want)
+		}
+	}
+	// Length mismatch against the horizon is rejected.
+	if _, err := spec.Timeline(5, 60, rng.New(1)); err == nil {
+		t.Error("replay shorter than horizon accepted")
+	}
+	bad := []Shape{
+		Replay{},
+		Replay{Rates: []float64{1, math.NaN()}},
+		Replay{Rates: []float64{1, math.Inf(1)}},
+		Replay{Rates: []float64{1, -2}},
+		Scale{Base: Constant{Rate: 1}, Factor: -1},
+		Scale{Base: Constant{Rate: 1}, Factor: math.Inf(1)},
+		Scale{},
+		Shift{},
+	}
+	for i, s := range bad {
+		if _, err := (Spec{Shape: s}).Timeline(2, 60, rng.New(1)); err == nil {
+			t.Errorf("bad shape %d accepted", i)
+		}
+	}
+}
+
+func TestScaleAndShift(t *testing.T) {
+	base := Replay{Rates: []float64{1, 2, 3, 4}}
+	s := Scale{Base: base, Factor: 10}
+	if got := s.RPS(2, 4); got != 30 {
+		t.Fatalf("scale: got %v, want 30", got)
+	}
+	sh := Shift{Base: base, Offset: 1}
+	want := []float64{4, 1, 2, 3} // rotated right by one, wrapping at horizon
+	for w := range want {
+		if got := sh.RPS(w, 4); got != want[w] {
+			t.Fatalf("shift window %d: got %v, want %v", w, got, want[w])
+		}
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	good := map[string]struct {
+		proc Arrival
+		cv   float64
+	}{
+		"exact":       {ArrivalExact, 0},
+		"poisson":     {ArrivalPoisson, 0},
+		"gamma:1.5":   {ArrivalGamma, 1.5},
+		"weibull:0.8": {ArrivalWeibull, 0.8},
+	}
+	for in, want := range good {
+		proc, cv, err := ParseArrival(in)
+		if err != nil || proc != want.proc || cv != want.cv {
+			t.Errorf("ParseArrival(%q) = (%v, %v, %v), want (%v, %v, nil)",
+				in, proc, cv, err, want.proc, want.cv)
+		}
+	}
+	for _, in := range []string{"", "gaussian", "gamma", "gamma:", "gamma:x",
+		"gamma:-1", "weibull:0", "weibull:1e9", "poisson:2", "exact:0"} {
+		if _, _, err := ParseArrival(in); err == nil {
+			t.Errorf("ParseArrival(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseSLOClass(t *testing.T) {
+	for _, c := range []SLOClass{SLOStandard, SLOStrict, SLORelaxed} {
+		got, err := ParseSLOClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseSLOClass(%q) = (%v, %v), want (%v, nil)", c.String(), got, err, c)
+		}
+	}
+	if _, err := ParseSLOClass("gold"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestExpandCohort(t *testing.T) {
+	parent := Client{
+		Name: "search", Service: "web-search", Fraction: 0.6, SLO: SLOStrict,
+		Spec: Spec{Shape: Constant{Rate: 100}, Process: ArrivalGamma, CV: 1.2},
+	}
+	members, err := ExpandCohort(parent, CohortSpec{Members: 3, Skew: 1, PhaseWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 {
+		t.Fatalf("got %d members", len(members))
+	}
+	fracSum, rateSum := 0.0, 0.0
+	for i, m := range members {
+		if !strings.HasPrefix(m.Name, "search#") {
+			t.Errorf("member %d name %q", i, m.Name)
+		}
+		if m.Service != parent.Service || m.SLO != parent.SLO {
+			t.Errorf("member %d lost service/SLO", i)
+		}
+		if m.Spec.Process != ArrivalGamma || m.Spec.CV != 1.2 {
+			t.Errorf("member %d lost arrival process", i)
+		}
+		fracSum += m.Fraction
+		rateSum += m.Spec.Shape.RPS(0, 24)
+	}
+	if math.Abs(fracSum-parent.Fraction) > 1e-12 {
+		t.Errorf("member fractions sum to %v, want %v", fracSum, parent.Fraction)
+	}
+	if math.Abs(rateSum-100) > 1e-9 {
+		t.Errorf("member rates sum to %v, want 100", rateSum)
+	}
+	// Zipf skew 1: member 0 carries share 1/(1+1/2+1/3).
+	wantShare := 1 / (1 + 0.5 + 1.0/3)
+	if got := members[0].Spec.Shape.RPS(0, 24) / 100; math.Abs(got-wantShare) > 1e-12 {
+		t.Errorf("member 0 share %v, want %v", got, wantShare)
+	}
+	// Phase stride: members must be usable in a Traffic and validate.
+	tr := Traffic{Windows: 24, WindowSec: 3600, Clients: members}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("cohort traffic invalid: %v", err)
+	}
+
+	bad := []CohortSpec{
+		{Members: 0},
+		{Members: 2, Skew: -1},
+		{Members: 2, Skew: math.NaN()},
+		{Members: 2, PhaseWindows: -1},
+	}
+	for i, spec := range bad {
+		if _, err := ExpandCohort(parent, spec); err == nil {
+			t.Errorf("bad cohort spec %d accepted", i)
+		}
+	}
+	if _, err := ExpandCohort(Client{Name: "x"}, CohortSpec{Members: 2}); err == nil {
+		t.Error("cohort of shapeless client accepted")
+	}
+}
+
+func TestTrafficValidateRejectsContradictoryProcess(t *testing.T) {
+	tr := validTraffic()
+	tr.Clients[0].Spec = Spec{Shape: Constant{Rate: 1}, Poisson: true, Process: ArrivalGamma, CV: 1}
+	if err := tr.Validate(); err == nil {
+		t.Error("contradictory Poisson+Process accepted")
+	}
+	tr = validTraffic()
+	tr.Clients[0].Spec = Spec{Shape: Replay{Rates: []float64{1, 2}}}
+	if err := tr.Validate(); err == nil {
+		t.Error("replay shorter than traffic horizon accepted")
+	}
+}

@@ -161,20 +161,77 @@ func (b Burst) RPS(w, n int) float64 {
 	return base
 }
 
+// Replay plays back a recorded per-window rate timeline verbatim — the
+// shape a trace file materialises to (internal/tracefile), which is what
+// lets recorded and synthetic traffic flow through the same loadgen →
+// fleet path. Rates must cover the whole horizon; Timeline rejects a
+// length mismatch.
+type Replay struct {
+	// Rates[w] is the arrival rate (requests/sec) of window w.
+	Rates []float64
+}
+
+// RPS implements Shape.
+func (r Replay) RPS(w, n int) float64 {
+	if w < 0 || w >= len(r.Rates) {
+		return 0
+	}
+	return r.Rates[w]
+}
+
+// Scale multiplies a base shape's rate by a constant factor — how a cohort
+// member carries its share of the cohort's aggregate shape.
+type Scale struct {
+	Base   Shape
+	Factor float64
+}
+
+// RPS implements Shape.
+func (s Scale) RPS(w, n int) float64 { return s.Base.RPS(w, n) * s.Factor }
+
+// Shift delays a base shape by Offset windows, wrapping at the horizon —
+// phase diversity across cohort members (one member's evening peak is
+// another's afternoon).
+type Shift struct {
+	Base   Shape
+	Offset int
+}
+
+// RPS implements Shape.
+func (s Shift) RPS(w, n int) float64 {
+	if n > 0 {
+		w = ((w-s.Offset)%n + n) % n
+	}
+	return s.Base.RPS(w, n)
+}
+
 // Spec couples a shape with the arrival-noise model.
 type Spec struct {
 	Shape Shape
 	// Poisson draws each window's realised request population from a
 	// Poisson distribution with the shape's mean (open-loop arrival
-	// noise); otherwise windows carry the exact mean rate.
+	// noise); otherwise windows carry the exact mean rate. Equivalent to
+	// Process: ArrivalPoisson; kept for compatibility — the richer
+	// processes are selected through Process.
 	Poisson bool
+	// Process selects the arrival noise explicitly (exact, Poisson, or
+	// the overdispersed Gamma/Weibull mixtures). The zero value defers to
+	// the legacy Poisson flag. Setting both Poisson and a non-Poisson
+	// Process is a contradiction and rejected.
+	Process Arrival
+	// CV is the burstiness knob for ArrivalGamma and ArrivalWeibull: the
+	// coefficient of variation of the per-window rate multiplier. It must
+	// be positive for those processes and zero for the others.
+	CV float64
 }
 
 // validateShape rejects degenerate shape compositions and parameters
 // before they silently produce something other than what was asked for.
-// Only the built-in shapes are inspected; custom Shape implementations are
-// trusted to return non-negative finite rates.
-func validateShape(s Shape) error {
+// windows is the horizon the shape will be materialised over (0 when
+// unknown), which is what lets Replay reject a length mismatch. Only the
+// built-in shapes are inspected; custom Shape implementations are trusted
+// to return non-negative finite rates.
+func validateShape(s Shape, windows int) error {
 	nonneg := func(what string, vs ...float64) error {
 		for _, v := range vs {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
@@ -203,7 +260,28 @@ func validateShape(s Shape) error {
 		if err := nonneg("burst magnitude", v.Magnitude); err != nil {
 			return err
 		}
-		return validateShape(v.Base)
+		return validateShape(v.Base, windows)
+	case Replay:
+		if len(v.Rates) == 0 {
+			return fmt.Errorf("loadgen: replay without rates")
+		}
+		if windows > 0 && len(v.Rates) != windows {
+			return fmt.Errorf("loadgen: replay carries %d windows, horizon wants %d", len(v.Rates), windows)
+		}
+		return nonneg("replay rate", v.Rates...)
+	case Scale:
+		if v.Base == nil {
+			return fmt.Errorf("loadgen: scale without a base shape")
+		}
+		if err := nonneg("scale factor", v.Factor); err != nil {
+			return err
+		}
+		return validateShape(v.Base, windows)
+	case Shift:
+		if v.Base == nil {
+			return fmt.Errorf("loadgen: shift without a base shape")
+		}
+		return validateShape(v.Base, windows)
 	default:
 		return nil
 	}
@@ -215,11 +293,24 @@ func (s Spec) Timeline(windows int, windowSec float64, stream *rng.Stream) ([]fl
 	if s.Shape == nil {
 		return nil, fmt.Errorf("loadgen: spec without a shape")
 	}
-	if err := validateShape(s.Shape); err != nil {
+	if err := validateShape(s.Shape, windows); err != nil {
+		return nil, err
+	}
+	proc, err := s.resolveProcess()
+	if err != nil {
 		return nil, err
 	}
 	if windows <= 0 || windowSec <= 0 {
 		return nil, fmt.Errorf("loadgen: non-positive horizon (%d windows × %vs)", windows, windowSec)
+	}
+	// The Weibull CV knob inverts to the distribution's shape parameter
+	// once per materialisation.
+	wshape := 0.0
+	if proc == ArrivalWeibull {
+		wshape, err = weibullShapeFromCV(s.CV)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := make([]float64, windows)
 	for w := 0; w < windows; w++ {
@@ -227,9 +318,22 @@ func (s Spec) Timeline(windows int, windowSec float64, stream *rng.Stream) ([]fl
 		if mean < 0 {
 			return nil, fmt.Errorf("loadgen: negative rate %v at window %d", mean, w)
 		}
-		if s.Poisson {
+		switch proc {
+		case ArrivalPoisson:
 			out[w] = stream.Poisson(mean*windowSec) / windowSec
-		} else {
+		case ArrivalGamma:
+			// Gamma-mixed Poisson: the window's true rate is itself a
+			// Gamma draw around the shape's mean, so counts are
+			// overdispersed by the CV (negative-binomial-style bursts).
+			m := stream.Gamma(1, s.CV)
+			out[w] = stream.Poisson(mean*m*windowSec) / windowSec
+		case ArrivalWeibull:
+			// Weibull-modulated Poisson: same mixture with Weibull tail
+			// behaviour — sub-exponential shapes (CV > 1) yield rare,
+			// deep rate excursions.
+			m := stream.Weibull(1, wshape)
+			out[w] = stream.Poisson(mean*m*windowSec) / windowSec
+		default:
 			out[w] = mean
 		}
 	}
@@ -331,7 +435,10 @@ func (t Traffic) Validate() error {
 		if c.Spec.Shape == nil {
 			return fmt.Errorf("loadgen: client %q without an arrival shape", c.Name)
 		}
-		if err := validateShape(c.Spec.Shape); err != nil {
+		if err := validateShape(c.Spec.Shape, t.Windows); err != nil {
+			return fmt.Errorf("loadgen: client %q: %w", c.Name, err)
+		}
+		if _, err := c.Spec.resolveProcess(); err != nil {
 			return fmt.Errorf("loadgen: client %q: %w", c.Name, err)
 		}
 		sum += c.Fraction

@@ -232,3 +232,90 @@ func TestPoissonDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// moments draws n variates and returns their sample mean and CV.
+func moments(t *testing.T, n int, draw func() float64) (mean, cv float64) {
+	t.Helper()
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := draw()
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("draw %d returned %v", i, v)
+		}
+		sum += v
+		sq += v * v
+	}
+	mean = sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance) / mean
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ mean, cv float64 }{
+		{1, 0.5},  // shape 4: squeeze-rejection branch
+		{20, 1.0}, // shape 1
+		{5, 2.0},  // shape 0.25: boost branch
+	} {
+		s := New(11)
+		mean, cv := moments(t, 200000, func() float64 { return s.Gamma(tc.mean, tc.cv) })
+		if math.Abs(mean-tc.mean)/tc.mean > 0.03 {
+			t.Errorf("Gamma(%v,%v) mean = %v", tc.mean, tc.cv, mean)
+		}
+		if math.Abs(cv-tc.cv)/tc.cv > 0.05 {
+			t.Errorf("Gamma(%v,%v) cv = %v", tc.mean, tc.cv, cv)
+		}
+	}
+	if v := New(1).Gamma(7, 0); v != 7 {
+		t.Fatalf("Gamma with zero cv = %v, want the mean", v)
+	}
+	if v := New(1).Gamma(0, 1); v != 0 {
+		t.Fatalf("Gamma with zero mean = %v, want 0", v)
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	// Weibull CV is a pure function of shape: cv² = Γ(1+2/k)/Γ(1+1/k)² − 1.
+	wcv := func(k float64) float64 {
+		g1 := math.Gamma(1 + 1/k)
+		return math.Sqrt(math.Gamma(1+2/k)/(g1*g1) - 1)
+	}
+	for _, tc := range []struct{ mean, shape float64 }{
+		{10, 0.5}, // heavy-tailed
+		{3, 1.0},  // exponential
+		{100, 2.5},
+	} {
+		s := New(12)
+		mean, cv := moments(t, 200000, func() float64 { return s.Weibull(tc.mean, tc.shape) })
+		if math.Abs(mean-tc.mean)/tc.mean > 0.04 {
+			t.Errorf("Weibull(%v,%v) mean = %v", tc.mean, tc.shape, mean)
+		}
+		want := wcv(tc.shape)
+		if math.Abs(cv-want)/want > 0.06 {
+			t.Errorf("Weibull(%v,%v) cv = %v, want %v", tc.mean, tc.shape, cv, want)
+		}
+	}
+	if v := New(1).Weibull(0, 1); v != 0 {
+		t.Fatalf("Weibull with zero mean = %v, want 0", v)
+	}
+	if v := New(1).Weibull(1, 0); v != 0 {
+		t.Fatalf("Weibull with zero shape = %v, want 0", v)
+	}
+}
+
+func TestGammaWeibullDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Gamma(2, 1.5) != b.Gamma(2, 1.5) {
+			t.Fatalf("Gamma diverged at step %d", i)
+		}
+	}
+	a, b = New(98), New(98)
+	for i := 0; i < 1000; i++ {
+		if a.Weibull(2, 0.7) != b.Weibull(2, 0.7) {
+			t.Fatalf("Weibull diverged at step %d", i)
+		}
+	}
+}

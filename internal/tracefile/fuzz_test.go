@@ -1,0 +1,49 @@
+package tracefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace drives the parser with arbitrary bytes. The invariants:
+// never panic, never allocate beyond the MaxWindows guard, and any input
+// that parses must validate, re-encode in both dialects, and re-parse to
+// the identical trace (parse ∘ encode is the identity on accepted inputs).
+func FuzzParseTrace(f *testing.F) {
+	f.Add(validCSV)
+	f.Add("#stretch-trace v1\n#meta windows=1 window_sec=60\n#client name=a service=s slo=strict fraction=1\nwindow,client,rps\n0,a,0\n")
+	f.Add("#stretch-trace v1\n#meta windows=2 window_sec=60\n#client name=a service=s slo=standard fraction=0.5\n#event drain:0:3,restore:1:3\nwindow,client,rps\n0,a,1\n1,a,2.5\n")
+	f.Add(`{"format":"stretch-trace","version":1,"windows":1,"window_sec":60}
+{"client":{"name":"a","service":"s","fraction":1,"slo":"standard"}}
+{"w":0,"c":"a","rps":3.5}
+`)
+	f.Add(`{"format":"stretch-trace","version":1,"windows":1,"window_sec":1e309}`)
+	f.Add("#stretch-trace v1\n#meta windows=4194304 window_sec=1\n")
+	f.Add("#stretch-trace v1\n#meta windows=2 window_sec=60\n#client name=a service=s slo=standard fraction=1\nwindow,client,rps\n0,a,NaN\n")
+	f.Add("#stretch-trace v1\n#meta windows=2 window_sec=60\nwindow,client,rps\n0,a,-1\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parsed trace fails validation: %v", err)
+		}
+		for _, format := range []string{"csv", "jsonl"} {
+			var buf bytes.Buffer
+			if err := tr.Write(&buf, format); err != nil {
+				t.Fatalf("%s re-encode of valid trace: %v", format, err)
+			}
+			again, err := Parse(&buf)
+			if err != nil {
+				t.Fatalf("%s re-parse: %v", format, err)
+			}
+			if again.Windows != tr.Windows || len(again.Clients) != len(tr.Clients) ||
+				len(again.Events.Events) != len(tr.Events.Events) {
+				t.Fatalf("%s re-parse changed the trace: %+v vs %+v", format, tr, again)
+			}
+		}
+	})
+}

@@ -38,7 +38,15 @@
 //     client's B-/Q-mode LS slowdown and batch credit then come from its
 //     own (service, batch-pairing) colocation's measured cells instead of
 //     fleet-wide scalars, making datacenter-level throughput claims
-//     traceable to the paper's microarchitectural model.
+//     traceable to the paper's microarchitectural model;
+//   - the trace layer: a versioned CSV/JSONL trace-file format for
+//     recorded per-window, per-client traffic (TraceFile, LoadTrace), a
+//     deterministic synthesizer emitting the same format from generative
+//     specs (SynthTrace) with ServeGen-style arrival realism —
+//     Gamma-/Weibull-mixed Poisson processes (ArrivalProcess) and Zipf
+//     client cohorts (ExpandCohort) — and fleet replay through
+//     TraceFile.Traffic, bit-identical to simulating the generative spec
+//     at the same seed.
 //
 // Quick start:
 //
@@ -62,6 +70,7 @@ import (
 	"stretch/internal/sampling"
 	"stretch/internal/stats"
 	"stretch/internal/trace"
+	"stretch/internal/tracefile"
 	"stretch/internal/workload"
 )
 
@@ -459,3 +468,79 @@ func Fleet(cfg FleetConfig) (FleetResult, error) { return fleet.Run(cfg) }
 func PeakRPSPerCore(service string, nRequests int, seed uint64) (float64, error) {
 	return fleet.PeakRPSPerCore(service, nRequests, seed)
 }
+
+// --- Trace layer: recorded-traffic ingestion, synthesis and replay ---
+
+// ArrivalProcess selects the window-population noise model layered on an
+// ArrivalSpec's deterministic shape: exact rates, Poisson sampling, or an
+// overdispersed Gamma-/Weibull-mixed Poisson whose CV knob captures the
+// burstiness recorded production traces show and plain Poisson misses.
+type ArrivalProcess = loadgen.Arrival
+
+// Arrival processes. ArrivalDefault defers to the legacy ArrivalSpec
+// Poisson flag.
+const (
+	ArrivalDefault = loadgen.ArrivalDefault
+	ArrivalExact   = loadgen.ArrivalExact
+	ArrivalPoisson = loadgen.ArrivalPoisson
+	ArrivalGamma   = loadgen.ArrivalGamma
+	ArrivalWeibull = loadgen.ArrivalWeibull
+)
+
+// ParseArrivalProcess resolves an arrival-process string:
+// "exact", "poisson", "gamma:<cv>" or "weibull:<cv>". The CV result is
+// the mixture's coefficient of variation (zero for the first two).
+func ParseArrivalProcess(s string) (ArrivalProcess, float64, error) { return loadgen.ParseArrival(s) }
+
+// ParseSLOClass resolves an SLO class name (standard|strict|relaxed).
+func ParseSLOClass(s string) (SLOClass, error) { return loadgen.ParseSLOClass(s) }
+
+// ReplayShape plays back a recorded per-window rate sequence verbatim —
+// the shape a loaded TraceFile turns into. ScaleShape and ShiftShape wrap
+// any base shape with a rate multiplier or a circular window offset; the
+// cohort expander composes them to stagger and weight cohort members.
+type (
+	ReplayShape = loadgen.Replay
+	ScaleShape  = loadgen.Scale
+	ShiftShape  = loadgen.Shift
+)
+
+// CohortSpec expands one logical traffic client into a population of
+// members with Zipf-skewed rate shares and phase-staggered shapes
+// (ServeGen-style client realism).
+type CohortSpec = loadgen.CohortSpec
+
+// ExpandCohort splits a client into spec.Members cohort clients; shares
+// are normalised Zipf weights, so expansion is deterministic and
+// rate-preserving.
+func ExpandCohort(c TrafficClient, spec CohortSpec) ([]TrafficClient, error) {
+	return loadgen.ExpandCohort(c, spec)
+}
+
+// TraceFile is a parsed (or synthesised) traffic recording: a windowed
+// horizon, per-client metadata, optional embedded scenario events, and
+// the complete per-window rate matrix. Its Traffic method converts it
+// into the fleet's traffic source; replay is seed-independent for the
+// timelines (the rates are already a realisation) while the simulation's
+// per-core streams stay seed-derived as usual.
+type TraceFile = tracefile.Trace
+
+// TraceClient is the per-client metadata a TraceFile carries.
+type TraceClient = tracefile.Client
+
+// TraceSynthSpec drives SynthTrace: the generative Traffic, scenario
+// events to embed, and the realisation seed.
+type TraceSynthSpec = tracefile.SynthSpec
+
+// LoadTrace reads and strictly validates a trace file (CSV or JSONL,
+// auto-detected) with line-numbered errors.
+func LoadTrace(path string) (*TraceFile, error) { return tracefile.Load(path) }
+
+// ParseTrace parses a trace from a reader; see LoadTrace.
+var ParseTrace = tracefile.Parse
+
+// SynthTrace materialises a generative traffic spec into a TraceFile
+// through the same seed-derived streams the fleet uses: replaying the
+// result under a fleet with the same seed is bit-identical to simulating
+// the spec directly.
+func SynthTrace(spec TraceSynthSpec) (*TraceFile, error) { return tracefile.Synth(spec) }

@@ -1,6 +1,7 @@
 package stretch
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -225,5 +226,74 @@ func TestSchedulerFacade(t *testing.T) {
 	}
 	if _, err := ParseFleetEvents("warp:1:2"); err == nil {
 		t.Fatal("unknown event kind accepted")
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	traffic := Traffic{
+		Windows: 6, WindowSec: 600,
+		Clients: []TrafficClient{{
+			Name: "search", Service: WebSearch, Fraction: 1, SLO: SLOStrict,
+			Spec: ArrivalSpec{Shape: Constant{Rate: 1200}, Process: ArrivalGamma, CV: 1.5},
+		}},
+	}
+	tr, err := SynthTrace(TraceSynthSpec{Traffic: traffic, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Windows != 6 || tr.Hours() != 1 || len(tr.Clients) != 1 {
+		t.Fatalf("synthesised trace shape: %+v", tr)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := parsed.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fleet(FleetConfig{
+		Servers: 1, CoresPerServer: 2, Traffic: replay,
+		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
+		WindowRequests: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 2 || len(res.Clients) != 1 {
+		t.Fatalf("replayed fleet shape: %+v", res)
+	}
+
+	proc, cv, err := ParseArrivalProcess("weibull:1.5")
+	if err != nil || proc != ArrivalWeibull || cv != 1.5 {
+		t.Fatalf("ParseArrivalProcess: %v %v %v", proc, cv, err)
+	}
+	if _, _, err := ParseArrivalProcess("brownian"); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	slo, err := ParseSLOClass("strict")
+	if err != nil || slo != SLOStrict {
+		t.Fatalf("ParseSLOClass: %v %v", slo, err)
+	}
+
+	members, err := ExpandCohort(traffic.Clients[0], CohortSpec{Members: 3, Skew: 1, PhaseWindows: 1})
+	if err != nil || len(members) != 3 {
+		t.Fatalf("ExpandCohort: %v %v", members, err)
+	}
+	sum := 0.0
+	for _, m := range members {
+		sum += m.Spec.Shape.RPS(0, 6)
+	}
+	if sum < 1199.9 || sum > 1200.1 {
+		t.Fatalf("cohort rates sum to %v, want 1200", sum)
+	}
+
+	if _, err := LoadTrace("testdata/definitely-missing.trace"); err == nil {
+		t.Fatal("missing trace accepted")
 	}
 }
