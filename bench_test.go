@@ -218,6 +218,46 @@ func BenchmarkFleet10kCores(b *testing.B) {
 	benchFleet(b, benchFleetConfig(625, EstimatorDefault)) // 10000 cores
 }
 
+// BenchmarkFleetAutoscale1kCores guards the autoscaling layer's overhead:
+// the same 1008-core day with the util policy parking and unparking whole
+// servers between windows. The per-window scaling decision is O(servers)
+// bookkeeping, so the delta against BenchmarkFleet1kCores should be the
+// work *saved* by the parked windows, never added coordination cost.
+func BenchmarkFleetAutoscale1kCores(b *testing.B) {
+	cfg := benchFleetConfig(63, EstimatorDefault)
+	cfg.Autoscale = Autoscale{Policy: AutoscaleUtil}
+	benchFleet(b, cfg)
+}
+
+// BenchmarkPlanCapacity guards the capacity planner end to end: an
+// in-memory recorded trace, bisected over a 16-server range. Each probe is
+// a full fleet run, so this is the planner's real cost profile (dominated
+// by the probe runs, not the search bookkeeping).
+func BenchmarkPlanCapacity(b *testing.B) {
+	cfg := benchFleetConfig(16, EstimatorDefault)
+	tr, err := SynthTrace(TraceSynthSpec{Traffic: cfg.Traffic, Seed: cfg.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	traffic, err := tr.Traffic()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Traffic = traffic
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		plan, err := PlanCapacity(CapacitySpec{Config: cfg, MaxViolationWindows: 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plan.Probes) == 0 {
+			b.Fatal("planner probed nothing")
+		}
+	}
+}
+
 // BenchmarkFleetTraceReplay1kCores guards the trace-replay path at fleet
 // scale: the 1008-core benchmark traffic is synthesised into a trace file
 // once (encode + strict re-parse outside the timer), then every iteration

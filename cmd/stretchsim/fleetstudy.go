@@ -23,6 +23,8 @@ type fleetParams struct {
 	servers, cores int
 	trace          string
 	policy         string
+	autoscale      string
+	autoMin        int
 	events         string
 	estimator      string
 	calib          string
@@ -167,6 +169,10 @@ func buildFleetConfig(p *fleetParams) (fleet.Config, error) {
 	if err != nil {
 		return fleet.Config{}, err
 	}
+	autoPolicy, err := fleet.ParseAutoscalePolicy(p.autoscale)
+	if err != nil {
+		return fleet.Config{}, err
+	}
 	estimator, err := stats.ParseTailEstimator(p.estimator)
 	if err != nil {
 		return fleet.Config{}, err
@@ -228,6 +234,7 @@ func buildFleetConfig(p *fleetParams) (fleet.Config, error) {
 		WindowRequests: p.windowReq, Workers: p.workers, Seed: p.seed,
 		TailEstimator: estimator,
 		Scheduler:     fleet.SchedulerConfig{Policy: policy},
+		Autoscale:     fleet.AutoscaleConfig{Policy: autoPolicy, MinServers: p.autoMin},
 		Scenario:      scenario,
 	}, nil
 }
@@ -303,6 +310,9 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 	fmt.Fprintf(&b, "== fleet: %d servers × %d cores = %d SMT cores, %s traffic, %.0fh ==\n",
 		p.servers, p.cores, res.Cores, p.trace, p.hours)
 	fmt.Fprintf(&b, "policy %s", res.Policy)
+	if res.Autoscale != fleet.AutoscaleOff {
+		fmt.Fprintf(&b, ", autoscale %s", res.Autoscale)
+	}
 	if n := len(cfg.Scenario.Events); n > 0 {
 		evs := make([]string, n)
 		for i, e := range cfg.Scenario.Events {
@@ -344,7 +354,12 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 		res.Switches)
 	fmt.Fprintf(&b, "batch core-hours gained vs equal partitioning: %.0f (%+.1f%%)\n",
 		res.BatchCoreHoursGained, 100*res.BatchGain)
-	if res.Migrations+res.DrainedCoreWindows+res.IdleCoreWindows > 0 {
+	// The parked count joins the schedule line only on autoscaled runs, so
+	// pre-autoscaling golden files keep reproducing byte-identically.
+	if res.ParkedCoreWindows > 0 {
+		fmt.Fprintf(&b, "schedule: %d migration, %d drained, %d parked, %d idle core-windows\n",
+			res.Migrations, res.DrainedCoreWindows, res.ParkedCoreWindows, res.IdleCoreWindows)
+	} else if res.Migrations+res.DrainedCoreWindows+res.IdleCoreWindows > 0 {
 		fmt.Fprintf(&b, "schedule: %d migration, %d drained, %d idle core-windows\n",
 			res.Migrations, res.DrainedCoreWindows, res.IdleCoreWindows)
 	}
@@ -358,14 +373,14 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 func formatWindowTrace(res fleet.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "\nwindow trace (%d windows):\n", len(res.WindowTrace))
-	fmt.Fprintf(&b, "%-4s %5s %5s %5s %5s %5s %5s", "win", "serve", "drain", "idle", "B", "viol", "migr")
+	fmt.Fprintf(&b, "%-4s %5s %5s %5s %5s %5s %5s %5s", "win", "serve", "drain", "park", "idle", "B", "viol", "migr")
 	for _, cm := range res.Clients {
 		fmt.Fprintf(&b, " | %-20s", cm.Client+" c/p99/viol")
 	}
 	b.WriteString("\n")
 	for _, o := range res.WindowTrace {
-		fmt.Fprintf(&b, "%-4d %5d %5d %5d %5d %5d %5d",
-			o.Window, o.ServingCores, o.DrainedCores, o.IdleCores,
+		fmt.Fprintf(&b, "%-4d %5d %5d %5d %5d %5d %5d %5d",
+			o.Window, o.ServingCores, o.DrainedCores, o.ParkedCores, o.IdleCores,
 			o.BCores, o.Violations, o.Migrations)
 		for _, co := range o.Clients {
 			fmt.Fprintf(&b, " | %4d %10.1f %4d", co.Cores, co.TailP99Ms, co.Violations)

@@ -9,16 +9,23 @@
 //	stretchsim -experiment all [-scale quick]
 //	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed|<file>]
 //	           [-policy static|proportional|p2c|feedback] [-events "drain:24:0,..."]
+//	           [-autoscale off|util|violation] [-autoscale-min 1]
 //	           [-tail-estimator histogram|exact] [-calib default|<path.json>]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
 //	           [-seed 1] [-fleet-workers 0] [-window-trace]
 //	stretchsim synth [-spec mixed] [-servers 64] [-cores 16] [-hours 168]
 //	           [-windows-per-hour 4] [-seed 1] [-arrival gamma:1.5]
 //	           [-cohorts 4:1:6] [-events "..."] [-format csv|jsonl] [-o week.trace.csv]
+//	stretchsim plan -trace week.trace.csv [-budget 0] [-cores 16]
+//	           [-min-servers 1] [-max-servers 64] [-policy feedback]
+//	           [-tail-estimator histogram|exact] [-calib default|<path.json>]
+//	           [-window-requests 400] [-seed 1] [-fleet-workers 0]
 //
 // A -trace value that is not a named spec is replayed from that trace
 // file (as written by synth or by fleet tooling recording production
 // traffic); the replay adopts the file's horizon and embedded events.
+// plan binary-searches the minimum server count whose full-trace replay
+// stays within the SLO budget of violating core-windows.
 package main
 
 import (
@@ -36,6 +43,10 @@ func main() {
 		runSynth(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "plan" {
+		runPlan(os.Args[2:])
+		return
+	}
 
 	var (
 		list  = flag.Bool("list", false, "list available experiments")
@@ -47,6 +58,8 @@ func main() {
 		cores      = flag.Int("cores", 16, "fleet: SMT cores per server")
 		traceName  = flag.String("trace", "mixed", "fleet: traffic source — a named spec (websearch|video|mixed|failover) or a trace file path to replay")
 		policy     = flag.String("policy", "static", "fleet: scheduler policy (static|proportional|p2c|feedback)")
+		autoscale  = flag.String("autoscale", "off", "fleet: autoscaling policy (off|util|violation) — servers join/leave the fleet between windows")
+		autoMin    = flag.Int("autoscale-min", 0, "fleet: autoscaler's in-service server floor (0 = default 1)")
 		estimator  = flag.String("tail-estimator", "histogram", "fleet: tail quantile estimator (histogram|exact)")
 		calibFlag  = flag.String("calib", "", "fleet: per-(service,batch,mode) calibration from the cycle-level model: \"default\" for the committed table, a .json path for an on-disk cache (built on miss), empty for uniform scalars")
 		events     = flag.String("events", "", "fleet: scenario events, e.g. \"drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85\" (failover trace has a built-in default)")
@@ -64,7 +77,8 @@ func main() {
 	if *fleetMode {
 		runFleet(fleetParams{
 			servers: *servers, cores: *cores, trace: *traceName,
-			policy: *policy, events: *events, estimator: *estimator,
+			policy: *policy, autoscale: *autoscale, autoMin: *autoMin,
+			events: *events, estimator: *estimator,
 			calib: *calibFlag,
 			hours: *hours, wph: *wph, windowReq: *windowReq,
 			seed: *seed, workers: *fleetWork,
@@ -138,7 +152,7 @@ func runFleet(p fleetParams) {
 	if p.windowTrace {
 		fmt.Print(formatWindowTrace(res))
 	}
-	simReq := float64(res.Cores)*float64(res.Windows) - float64(res.DrainedCoreWindows+res.IdleCoreWindows)
+	simReq := float64(res.Cores)*float64(res.Windows) - float64(res.DrainedCoreWindows+res.ParkedCoreWindows+res.IdleCoreWindows)
 	simReq *= float64(p.windowReq)
 	fmt.Printf("(%.1fs wall, ~%.1fM simulated requests, %.1fM req/s)\n",
 		elapsed.Seconds(), simReq/1e6, simReq/1e6/elapsed.Seconds())

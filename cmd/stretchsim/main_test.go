@@ -41,23 +41,28 @@ func TestFleetGolden(t *testing.T) {
 		hours         float64
 		estimator     string
 		calib         string
+		autoscale     string
 	}{
-		{"websearch", "static", 0, "", ""},
-		{"video", "static", 0, "", ""},
-		{"mixed", "static", 0, "", ""},
-		{"mixed", "proportional", 0, "", ""},
-		{"mixed", "p2c", 0, "", ""},
-		{"failover", "proportional", 0, "", ""},
-		{"mixed", "feedback", 0, "", ""},
-		{"failover", "feedback", 24, "", ""},
-		{"mixed", "static", 0, "histogram", ""},
-		{"mixed", "feedback", 0, "histogram", ""},
-		{"failover", "feedback", 24, "histogram", ""},
+		{"websearch", "static", 0, "", "", ""},
+		{"video", "static", 0, "", "", ""},
+		{"mixed", "static", 0, "", "", ""},
+		{"mixed", "proportional", 0, "", "", ""},
+		{"mixed", "p2c", 0, "", "", ""},
+		{"failover", "proportional", 0, "", "", ""},
+		{"mixed", "feedback", 0, "", "", ""},
+		{"failover", "feedback", 24, "", "", ""},
+		{"mixed", "static", 0, "histogram", "", ""},
+		{"mixed", "feedback", 0, "histogram", "", ""},
+		{"failover", "feedback", 24, "histogram", "", ""},
 		// Calibrated runs consume the committed default table: per-client
 		// (service, batch) deltas from the cycle-level model, locked with
 		// the per-client calibrated batch-speedup block in the report.
-		{"mixed", "static", 0, "", "default"},
-		{"failover", "feedback", 24, "histogram", "default"},
+		{"mixed", "static", 0, "", "default", ""},
+		{"failover", "feedback", 24, "histogram", "default", ""},
+		// The autoscaled day: the util policy parks off-peak capacity and
+		// pays warm-up migrations on the way back up, locked end to end —
+		// policy echo, parked core-windows in the schedule line and all.
+		{"mixed", "feedback", 24, "histogram", "", "util"},
 	}
 	for _, tc := range cases {
 		name := tc.trace + "_" + tc.policy
@@ -66,6 +71,9 @@ func TestFleetGolden(t *testing.T) {
 		}
 		if tc.calib != "" {
 			name += "_calibrated"
+		}
+		if tc.autoscale != "" {
+			name += "_autoscale_" + tc.autoscale
 		}
 		t.Run(name, func(t *testing.T) {
 			p := goldenParams(tc.trace, tc.policy)
@@ -76,6 +84,7 @@ func TestFleetGolden(t *testing.T) {
 				p.estimator = tc.estimator
 			}
 			p.calib = tc.calib
+			p.autoscale = tc.autoscale
 			cfg, err := buildFleetConfig(&p)
 			if err != nil {
 				t.Fatal(err)

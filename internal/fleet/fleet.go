@@ -134,6 +134,13 @@ type Config struct {
 	// zero value is the static Fraction split.
 	Scheduler SchedulerConfig
 
+	// Autoscale lets servers join/leave the fleet between windows under a
+	// scaling policy (autoscale.go); Servers becomes the physical ceiling
+	// of a fleet that parks and unparks whole servers. The zero value
+	// keeps every server in service and reproduces pre-autoscaling
+	// results byte-identically.
+	Autoscale AutoscaleConfig
+
 	// Scenario injects fleet events — server drains/restores, traffic
 	// surges, per-server performance generations. The zero value is an
 	// uneventful run.
@@ -197,6 +204,9 @@ func (c Config) Validate() error {
 		}
 	}
 	if err := c.Scheduler.Validate(); err != nil {
+		return err
+	}
+	if err := c.Autoscale.Validate(c.Servers); err != nil {
 		return err
 	}
 	return c.Scenario.Validate(c.Traffic.Windows, c.Servers, c.Traffic.Clients)
@@ -284,8 +294,10 @@ type WindowObservation struct {
 	Window int
 	// Clients holds per-client window aggregates in traffic order.
 	Clients []ClientWindowObs
-	// ServingCores, DrainedCores and IdleCores partition the fleet.
-	ServingCores, DrainedCores, IdleCores int
+	// ServingCores, DrainedCores, ParkedCores and IdleCores partition the
+	// fleet: serving a client, scenario-drained, autoscaler-parked, or in
+	// service but unassigned.
+	ServingCores, DrainedCores, ParkedCores, IdleCores int
 	// Violations counts the window's violating core-windows fleet-wide.
 	Violations int
 	// BCores counts cores that ran the window in B-mode.
@@ -302,6 +314,8 @@ type Result struct {
 
 	// Policy echoes the scheduler policy the run used.
 	Policy Policy
+	// Autoscale echoes the autoscaling policy the run used.
+	Autoscale AutoscalePolicy
 	// TailEstimator echoes the resolved tail estimator the run used.
 	TailEstimator stats.TailEstimator
 	// CalibrationHash is the content hash of the calibration table the run
@@ -336,9 +350,11 @@ type Result struct {
 	// Migrations counts core-windows that paid the migration penalty
 	// (core handed to a different client than the previous window).
 	Migrations int
-	// DrainedCoreWindows and IdleCoreWindows count out-of-service and
-	// unassigned core-windows in the schedule.
+	// DrainedCoreWindows, ParkedCoreWindows and IdleCoreWindows count
+	// scenario-drained, autoscaler-parked and unassigned core-windows in
+	// the schedule.
 	DrainedCoreWindows int
+	ParkedCoreWindows  int
 	IdleCoreWindows    int
 
 	// WindowTrace is the per-window fleet series: one measured observation
@@ -356,7 +372,7 @@ type Result struct {
 type coreState struct {
 	ctl      monitor.Controller
 	hasCtl   bool  // ctl has been initialised at least once
-	prev     int16 // client the controller was built for (-3: none yet)
+	prev     int16 // client the controller was built for (-4: none yet)
 	switches uint64
 }
 
@@ -431,6 +447,7 @@ func Run(cfg Config) (Result, error) {
 		est = stats.EstimatorHistogram
 	}
 	sched := cfg.Scheduler.withDefaults()
+	auto := cfg.Autoscale.withDefaults()
 
 	timelines, err := cfg.Traffic.Timelines(cfg.Seed)
 	if err != nil {
@@ -468,7 +485,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	st := newStepper(sched)
+	st := newStepper(sched, auto)
 	if err := st.Plan(PlanInput{
 		Servers: cfg.Servers, CoresPerServer: cfg.CoresPerServer,
 		Traffic: cfg.Traffic, Timelines: timelines,
@@ -501,7 +518,7 @@ func Run(cfg Config) (Result, error) {
 	for c := 0; c < nCores; c++ {
 		e.perf[c] = perfGen[c/cfg.CoresPerServer]
 		e.streams[c] = *root.Derive(uint64(c))
-		e.states[c] = coreState{prev: -3} // matches no client and no sentinel
+		e.states[c] = coreState{prev: -4} // matches no client and no sentinel
 	}
 
 	workers := cfg.Workers
@@ -581,10 +598,11 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	// Schedule bookkeeping falls out of the per-window observations.
-	migrations, drainedCoreWindows, idleCoreWindows := 0, 0, 0
+	migrations, drainedCoreWindows, parkedCoreWindows, idleCoreWindows := 0, 0, 0, 0
 	for _, o := range winTrace {
 		migrations += o.Migrations
 		drainedCoreWindows += o.DrainedCores
+		parkedCoreWindows += o.ParkedCores
 		idleCoreWindows += o.IdleCores
 	}
 	initialCores := make([]int, n)
@@ -604,11 +622,13 @@ func Run(cfg Config) (Result, error) {
 	res := Result{
 		Cores: nCores, Windows: windows, WindowSec: cfg.Traffic.WindowSec,
 		Policy:             sched.Policy,
+		Autoscale:          auto.Policy,
 		TailEstimator:      est,
 		CalibrationHash:    calibHash,
 		TotalCoreHours:     float64(nCores) * cfg.Traffic.Hours(),
 		Migrations:         migrations,
 		DrainedCoreWindows: drainedCoreWindows,
+		ParkedCoreWindows:  parkedCoreWindows,
 		IdleCoreWindows:    idleCoreWindows,
 		WindowTrace:        winTrace,
 	}
@@ -782,6 +802,8 @@ func (e *engine) observe(w int, asg Assignment) WindowObservation {
 		switch {
 		case cl == coreDrained:
 			o.DrainedCores++
+		case cl == coreParked:
+			o.ParkedCores++
 		case cl == coreIdle:
 			o.IdleCores++
 		default:

@@ -206,17 +206,18 @@ func TestWindowTraceConsistency(t *testing.T) {
 	if len(res.WindowTrace) != res.Windows {
 		t.Fatalf("%d trace entries for %d windows", len(res.WindowTrace), res.Windows)
 	}
-	viol, serving, drained, idle := 0, 0, 0, 0
+	viol, serving, drained, parked, idle := 0, 0, 0, 0, 0
 	for w, o := range res.WindowTrace {
 		if o.Window != w {
 			t.Fatalf("trace entry %d labelled window %d", w, o.Window)
 		}
-		if got := o.ServingCores + o.DrainedCores + o.IdleCores; got != res.Cores {
+		if got := o.ServingCores + o.DrainedCores + o.ParkedCores + o.IdleCores; got != res.Cores {
 			t.Fatalf("window %d partitions %d cores, want %d", w, got, res.Cores)
 		}
 		viol += o.Violations
 		serving += o.ServingCores
 		drained += o.DrainedCores
+		parked += o.ParkedCores
 		idle += o.IdleCores
 		for ci, co := range o.Clients {
 			if co.Cores == 0 {
@@ -236,9 +237,9 @@ func TestWindowTraceConsistency(t *testing.T) {
 	if viol != res.ViolationWindows {
 		t.Fatalf("trace violations %d != aggregate %d", viol, res.ViolationWindows)
 	}
-	if drained != res.DrainedCoreWindows || idle != res.IdleCoreWindows {
-		t.Fatalf("trace drained/idle %d/%d != aggregate %d/%d",
-			drained, idle, res.DrainedCoreWindows, res.IdleCoreWindows)
+	if drained != res.DrainedCoreWindows || parked != res.ParkedCoreWindows || idle != res.IdleCoreWindows {
+		t.Fatalf("trace drained/parked/idle %d/%d/%d != aggregate %d/%d/%d",
+			drained, parked, idle, res.DrainedCoreWindows, res.ParkedCoreWindows, res.IdleCoreWindows)
 	}
 	total := 0
 	for _, cm := range res.Clients {

@@ -1,0 +1,148 @@
+// Capacity planning: turn the simulator around. A fleet run answers "what
+// happens with N servers"; PlanCapacity answers the operator's question —
+// "how many servers do I need" — by binary-searching the smallest fleet
+// whose full-horizon run stays within an SLO budget of violating
+// core-windows. Driven from a recorded trace (internal/loadgen trace
+// files), the offered load is fixed while the fleet shrinks, so the
+// answer is a property of the traffic and the budget alone: seed- and
+// worker-count-independent, reproducible in CI.
+package fleet
+
+import "fmt"
+
+// CapacitySpec asks for the minimum fleet that meets an SLO budget.
+type CapacitySpec struct {
+	// Config is the run template. Config.Servers is the search ceiling
+	// (the largest fleet considered); every probe reruns the identical
+	// config with a smaller Servers. The traffic should be a recorded
+	// trace (or any spec whose offered load does not depend on the fleet
+	// size) for the answer to mean anything.
+	Config Config
+	// MinServers is the search floor (default 1). The template must be
+	// valid at the floor — e.g. enough cores for every client.
+	MinServers int
+	// MaxViolationWindows is the SLO budget: the largest tolerable count
+	// of QoS-violating core-windows over the whole horizon.
+	MaxViolationWindows int
+}
+
+// CapacityPoint is one probed fleet size.
+type CapacityPoint struct {
+	Servers, Cores int
+	// ViolationWindows is the probe run's fleet-wide violating
+	// core-window count; Met reports whether it is within budget.
+	ViolationWindows int
+	Met              bool
+	// FleetP99Ms and BatchCoreHoursGained summarise the probe run.
+	FleetP99Ms           float64
+	BatchCoreHoursGained float64
+}
+
+// CapacityPlan is the search result.
+type CapacityPlan struct {
+	// Budget, CoresPerServer, MinServers and MaxServers echo the spec.
+	Budget         int
+	CoresPerServer int
+	MinServers     int
+	MaxServers     int
+	// Probes records every evaluated fleet size in evaluation order:
+	// ceiling first, then floor, then the bisection midpoints. The full
+	// record is what lets tests assert the monotonicity the bisection
+	// relies on (violations non-increasing in fleet size).
+	Probes []CapacityPoint
+	// Feasible reports whether even MaxServers meets the budget; when
+	// false, Servers and Cores are zero.
+	Feasible bool
+	// Servers and Cores are the minimum fleet meeting the budget, and
+	// ViolationWindows its measured violation count.
+	Servers, Cores   int
+	ViolationWindows int
+}
+
+// PlanCapacity binary-searches the minimum server count in
+// [MinServers, Config.Servers] whose full-horizon run meets the budget.
+// Bisection assumes violations are non-increasing in fleet size — true
+// whenever adding servers only dilutes per-core load (the recorded-trace
+// replays this is built for); the ceiling and floor are probed first, so
+// an infeasible budget is detected without a fruitless search.
+func PlanCapacity(spec CapacitySpec) (CapacityPlan, error) {
+	cfg := spec.Config
+	minS := spec.MinServers
+	if minS == 0 {
+		minS = 1
+	}
+	maxS := cfg.Servers
+	plan := CapacityPlan{
+		Budget:         spec.MaxViolationWindows,
+		CoresPerServer: cfg.CoresPerServer,
+		MinServers:     minS,
+		MaxServers:     maxS,
+	}
+	if spec.MaxViolationWindows < 0 {
+		return plan, fmt.Errorf("fleet: negative SLO budget %d", spec.MaxViolationWindows)
+	}
+	if minS < 1 || minS > maxS {
+		return plan, fmt.Errorf("fleet: capacity search range [%d,%d] invalid", minS, maxS)
+	}
+	floorCfg := cfg
+	floorCfg.Servers = minS
+	if err := floorCfg.Validate(); err != nil {
+		return plan, fmt.Errorf("fleet: capacity template invalid at %d servers: %w", minS, err)
+	}
+	probe := func(k int) (CapacityPoint, error) {
+		c := cfg
+		c.Servers = k
+		res, err := Run(c)
+		if err != nil {
+			return CapacityPoint{}, err
+		}
+		pt := CapacityPoint{
+			Servers: k, Cores: k * cfg.CoresPerServer,
+			ViolationWindows:     res.ViolationWindows,
+			Met:                  res.ViolationWindows <= spec.MaxViolationWindows,
+			FleetP99Ms:           res.FleetP99Ms,
+			BatchCoreHoursGained: res.BatchCoreHoursGained,
+		}
+		plan.Probes = append(plan.Probes, pt)
+		return pt, nil
+	}
+	pick := func(pt CapacityPoint) (CapacityPlan, error) {
+		plan.Feasible = true
+		plan.Servers, plan.Cores = pt.Servers, pt.Cores
+		plan.ViolationWindows = pt.ViolationWindows
+		return plan, nil
+	}
+
+	top, err := probe(maxS)
+	if err != nil {
+		return plan, err
+	}
+	if !top.Met {
+		return plan, nil // infeasible even at the ceiling
+	}
+	if minS == maxS {
+		return pick(top)
+	}
+	bottom, err := probe(minS)
+	if err != nil {
+		return plan, err
+	}
+	if bottom.Met {
+		return pick(bottom)
+	}
+	// Invariant: lo misses the budget, hi meets it.
+	lo, hi, best := minS, maxS, top
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		pt, err := probe(mid)
+		if err != nil {
+			return plan, err
+		}
+		if pt.Met {
+			hi, best = mid, pt
+		} else {
+			lo = mid
+		}
+	}
+	return pick(best)
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"stretch/internal/loadgen"
+	"stretch/internal/workload"
+)
+
+// planTestConfig is a capacity-search template: a fixed offered load
+// (constant rate, independent of the fleet size, like a recorded trace)
+// that saturates a 2-server fleet and relaxes as servers are added.
+func planTestConfig() Config {
+	return Config{
+		Servers: 6, CoresPerServer: 2,
+		Traffic: loadgen.Traffic{
+			Windows: 8, WindowSec: 300,
+			Clients: []loadgen.Client{{
+				Name: "search", Service: workload.WebSearch, Fraction: 1,
+				Spec: loadgen.Spec{Shape: loadgen.Constant{Rate: 910 * 4}, Poisson: true},
+			}},
+		},
+		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
+		WindowRequests: 200, Seed: 1,
+	}
+}
+
+// TestPlanCapacityMatchesLinearScan: over a range where violations are
+// non-increasing in fleet size, the bisection lands on exactly the fleet
+// an exhaustive scan would pick, and records every probe it ran.
+func TestPlanCapacityMatchesLinearScan(t *testing.T) {
+	cfg := planTestConfig()
+	viol := make(map[int]int)
+	prev := -1
+	for k := 1; k <= cfg.Servers; k++ {
+		c := cfg
+		c.Servers = k
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viol[k] = res.ViolationWindows
+		if prev >= 0 && res.ViolationWindows > prev {
+			t.Fatalf("synthetic load not monotone: %d servers has %d violations, %d had %d",
+				k, res.ViolationWindows, k-1, prev)
+		}
+		prev = res.ViolationWindows
+	}
+	if viol[1] == 0 {
+		t.Fatal("synthetic load never violates; search is degenerate")
+	}
+	// A budget sitting strictly between the extremes exercises real
+	// bisection steps; derive it from the measured curve so the test does
+	// not bake in simulator constants.
+	budget := (viol[1] + viol[cfg.Servers]) / 2
+	want := 0
+	for k := 1; k <= cfg.Servers; k++ {
+		if viol[k] <= budget {
+			want = k
+			break
+		}
+	}
+	plan, err := PlanCapacity(CapacitySpec{Config: cfg, MaxViolationWindows: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.Servers != want || plan.Cores != want*cfg.CoresPerServer {
+		t.Fatalf("bisection picked %d servers (feasible=%v), linear scan says %d", plan.Servers, plan.Feasible, want)
+	}
+	if plan.ViolationWindows != viol[want] {
+		t.Fatalf("plan reports %d violations at %d servers, measured %d", plan.ViolationWindows, want, viol[want])
+	}
+	if len(plan.Probes) < 2 || plan.Probes[0].Servers != cfg.Servers || plan.Probes[1].Servers != 1 {
+		t.Fatalf("probe order wrong (want ceiling then floor): %+v", plan.Probes)
+	}
+	for _, pt := range plan.Probes {
+		if pt.ViolationWindows != viol[pt.Servers] {
+			t.Fatalf("probe at %d servers saw %d violations, direct run saw %d",
+				pt.Servers, pt.ViolationWindows, viol[pt.Servers])
+		}
+		if pt.Met != (pt.ViolationWindows <= budget) {
+			t.Fatalf("probe at %d servers mislabelled: %+v (budget %d)", pt.Servers, pt, budget)
+		}
+	}
+}
+
+// TestPlanCapacityFloorMet: when even the floor meets the budget, the
+// search stops after probing the ceiling and the floor.
+func TestPlanCapacityFloorMet(t *testing.T) {
+	cfg := planTestConfig()
+	cfg.Traffic.Clients[0].Spec.Shape = loadgen.Constant{Rate: 280 * 2}
+	plan, err := PlanCapacity(CapacitySpec{Config: cfg, MinServers: 2, MaxViolationWindows: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.Servers != 2 {
+		t.Fatalf("underloaded fleet should plan to the 2-server floor, got %+v", plan)
+	}
+	if len(plan.Probes) != 2 {
+		t.Fatalf("floor-met search should stop after 2 probes, ran %d", len(plan.Probes))
+	}
+}
+
+// TestPlanCapacityInfeasible: a budget the ceiling itself cannot meet is
+// reported as infeasible after a single probe, with zero planned capacity.
+func TestPlanCapacityInfeasible(t *testing.T) {
+	cfg := planTestConfig()
+	cfg.Traffic.Clients[0].Spec.Shape = loadgen.Constant{Rate: 2000 * 12}
+	plan, err := PlanCapacity(CapacitySpec{Config: cfg, MaxViolationWindows: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible || plan.Servers != 0 || plan.Cores != 0 {
+		t.Fatalf("overloaded fleet should be infeasible, got %+v", plan)
+	}
+	if len(plan.Probes) != 1 || plan.Probes[0].Servers != cfg.Servers || plan.Probes[0].Met {
+		t.Fatalf("infeasible search should stop after the ceiling probe: %+v", plan.Probes)
+	}
+}
+
+// TestPlanCapacityValidation: malformed specs fail up front, before any
+// probe run — including a template that is only invalid at the floor.
+func TestPlanCapacityValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec CapacitySpec
+		want string
+	}{
+		{"negative budget", CapacitySpec{Config: planTestConfig(), MaxViolationWindows: -1}, "negative SLO budget"},
+		{"floor above ceiling", CapacitySpec{Config: planTestConfig(), MinServers: 7}, "invalid"},
+		{"negative floor", CapacitySpec{Config: planTestConfig(), MinServers: -1}, "invalid"},
+		{"floor too small for clients", func() CapacitySpec {
+			cfg := planTestConfig()
+			c := cfg.Traffic.Clients[0]
+			c.Fraction = 1.0 / 3
+			cfg.Traffic.Clients = []loadgen.Client{c, c, c}
+			cfg.Traffic.Clients[0].Name, cfg.Traffic.Clients[1].Name, cfg.Traffic.Clients[2].Name = "a", "b", "c"
+			return CapacitySpec{Config: cfg} // floor 1 server × 2 cores < 3 clients
+		}(), "invalid at 1 servers"},
+	}
+	for _, tc := range cases {
+		plan, err := PlanCapacity(tc.spec)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if len(plan.Probes) != 0 {
+			t.Errorf("%s: ran %d probes before failing", tc.name, len(plan.Probes))
+		}
+	}
+}

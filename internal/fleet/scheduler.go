@@ -158,8 +158,13 @@ func (s SchedulerConfig) Validate() error {
 const (
 	// coreIdle marks an in-service core with no client this window.
 	coreIdle int16 = -1
-	// coreDrained marks a core whose server is out of service.
+	// coreDrained marks a core whose server the scenario took out of
+	// service (failure / maintenance drain).
 	coreDrained int16 = -2
+	// coreParked marks a core whose server the autoscaler scaled in: out
+	// of service like a drain, but by fleet-sizing choice rather than
+	// scenario event, and accounted separately.
+	coreParked int16 = -3
 )
 
 // p2cChunksPerCore is how many routing chunks each core's share of a
@@ -200,10 +205,10 @@ type Stepper interface {
 	Step(w int, obs *WindowObservation) Assignment
 }
 
-// newStepper builds the Stepper for the configured policy. sched must
-// already carry defaults.
-func newStepper(sched SchedulerConfig) Stepper {
-	e := &elastic{sched: sched}
+// newStepper builds the Stepper for the configured policy and autoscaler.
+// Both configs must already carry defaults.
+func newStepper(sched SchedulerConfig, auto AutoscaleConfig) Stepper {
+	e := &elastic{sched: sched, auto: newAutoscaler(auto), autoMin: auto.MinServers}
 	switch sched.Policy {
 	case PolicyProportional, PolicyP2C:
 		e.alloc = demandAlloc{}
@@ -236,8 +241,10 @@ func (demandAlloc) desired(e *elastic, _ int, _ *WindowObservation) []int {
 // is owned by the stepper, so Step performs no per-window allocations
 // beyond the allocator's count slice.
 type elastic struct {
-	sched SchedulerConfig
-	alloc allocator
+	sched   SchedulerConfig
+	alloc   allocator
+	auto    Autoscaler // nil when autoscaling is off
+	autoMin int        // in-service server floor for the autoscaler
 
 	nCores, coresPerServer, windows, n int
 
@@ -246,16 +253,22 @@ type elastic struct {
 	drained    [][]bool
 	surge      [][]float64
 
-	route      *rng.Stream
-	owner      []int16
-	active     []bool
-	prevClient []int16
-	load       []float64
-	demand     []float64
-	cur        []int
-	byClient   [][]int
-	per        []float64 // p2c routing scratch
-	nActive    int
+	route  *rng.Stream
+	owner  []int16
+	active []bool
+	// lastOwner is the last *real* client each core served (coreIdle
+	// until the first assignment); sentinels are never written to it, so
+	// a core resuming its previous client after a drain, park or idle gap
+	// is not a migration — only a genuine owner change pays the penalty.
+	lastOwner []int16
+	parked    []bool // per-server: scaled in by the autoscaler
+	joined    []bool // per-server: unparked this window (pays warm-up)
+	load      []float64
+	demand    []float64
+	cur       []int
+	byClient  [][]int
+	per       []float64 // p2c routing scratch
+	nActive   int
 	// force is set by the allocator to push the rebalance through the
 	// hysteresis threshold (PolicyFeedback on a measured violation); it is
 	// cleared every Step.
@@ -312,7 +325,12 @@ func (e *elastic) Plan(in PlanInput) error {
 
 	e.route = rng.New(in.Seed).Derive(0x70C2)
 	e.active = make([]bool, nCores)
-	e.prevClient = make([]int16, nCores)
+	// The planned window-0 owners are the baseline: like window 0 itself,
+	// a core's first window on its planned client is free.
+	e.lastOwner = make([]int16, nCores)
+	copy(e.lastOwner, e.owner)
+	e.parked = make([]bool, in.Servers)
+	e.joined = make([]bool, in.Servers)
 	e.load = make([]float64, n)
 	e.demand = make([]float64, n)
 	e.cur = make([]int, n)
@@ -325,15 +343,23 @@ func (e *elastic) Plan(in PlanInput) error {
 	return nil
 }
 
-// Step decides window w: apply the drain mask, compute offered load, let
-// the allocator move cores (behind the hysteresis threshold), then route
-// each client's load across its in-service cores.
+// Step decides window w: compute offered load, let the autoscaler
+// park/unpark servers, compose that with the scenario drain mask, let the
+// allocator move cores (behind the hysteresis threshold), then route each
+// client's load across its in-service cores.
 func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 	nCores, n := e.nCores, e.n
+	for ci := 0; ci < n; ci++ {
+		e.load[ci] = e.rates[ci][w] * e.surge[ci][w]
+	}
+	if e.auto != nil {
+		e.autoscale(w, obs)
+	}
 	nActive := 0
 	drainChanged := w == 0
 	for c := 0; c < nCores; c++ {
-		a := !e.drained[c/e.coresPerServer][w]
+		srv := c / e.coresPerServer
+		a := !e.drained[srv][w] && !e.parked[srv]
 		if w > 0 && a != e.active[c] {
 			drainChanged = true
 		}
@@ -343,9 +369,6 @@ func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 		}
 	}
 	e.nActive = nActive
-	for ci := 0; ci < n; ci++ {
-		e.load[ci] = e.rates[ci][w] * e.surge[ci][w]
-	}
 
 	if e.alloc != nil && nActive > 0 {
 		for ci := range e.cur {
@@ -376,19 +399,29 @@ func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 	}
 	for c := 0; c < nCores; c++ {
 		cl := e.owner[c]
+		srv := c / e.coresPerServer
 		if !e.active[c] {
-			cl = coreDrained
+			// Scenario drains take precedence over parking in the books:
+			// a parked server that fails is a failed server.
+			if e.drained[srv][w] {
+				cl = coreDrained
+			} else {
+				cl = coreParked
+			}
 		}
 		e.asg.Client[c] = cl
 		e.asg.Rate[c] = 0
 		e.asg.Migrated[c] = false
 		if cl >= 0 {
-			if w > 0 && e.prevClient[c] != cl {
+			// A migration is a genuine owner change (never a resume after
+			// a drain, park or idle gap) — or the warm-up a freshly
+			// unparked server's cores pay on their first active window.
+			if (w > 0 && e.lastOwner[c] != cl) || e.joined[srv] {
 				e.asg.Migrated[c] = true
 			}
 			e.byClient[cl] = append(e.byClient[cl], c)
+			e.lastOwner[c] = cl
 		}
-		e.prevClient[c] = cl
 	}
 
 	// Route each client's offered load across its in-service cores.
@@ -428,6 +461,59 @@ func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 	return e.asg
 }
 
+// autoscale runs one scaling decision: build the fleet state, ask the
+// policy how many servers should be up, clamp to [MinServers, available]
+// and park/unpark whole servers. Unparking picks the lowest-index parked
+// server first and parking the highest-index up server first, so the
+// fleet grows and shrinks at the same deterministic edge regardless of
+// worker count. Servers unparked at w>0 are marked joined for this window
+// so their cores pay the warm-up cost.
+func (e *elastic) autoscale(w int, obs *WindowObservation) {
+	servers := e.nCores / e.coresPerServer
+	avail, up := 0, 0
+	for s := 0; s < servers; s++ {
+		e.joined[s] = false
+		if e.drained[s][w] {
+			continue
+		}
+		avail++
+		if !e.parked[s] {
+			up++
+		}
+	}
+	demand := 0.0
+	for ci := range e.load {
+		demand += e.load[ci] / e.sat[ci]
+	}
+	want := e.auto.DesiredServers(w, obs, ScaleState{
+		AvailableServers: avail,
+		UpServers:        up,
+		CoresPerServer:   e.coresPerServer,
+		DemandCores:      demand,
+	})
+	if floor := min(e.autoMin, avail); want < floor {
+		want = floor
+	}
+	if want > avail {
+		want = avail
+	}
+	for s := 0; s < servers && up < want; s++ {
+		if e.parked[s] && !e.drained[s][w] {
+			e.parked[s] = false
+			if w > 0 {
+				e.joined[s] = true
+			}
+			up++
+		}
+	}
+	for s := servers - 1; s >= 0 && up > want; s-- {
+		if !e.parked[s] && !e.drained[s][w] {
+			e.parked[s] = true
+			up--
+		}
+	}
+}
+
 // allocCounts divides nActive cores across clients proportionally to
 // demand (falling back to the configured fractions when no client offers
 // load), with a per-client floor and largest-remainder rounding. The
@@ -456,6 +542,17 @@ func allocCounts(demand, fracs []float64, nActive, minCores int) []int {
 		floor = nActive / n
 	}
 	spare := nActive - floor*n
+	if sum <= 0 {
+		// No demand and no fractions to fall back on: d/sum would make
+		// every share NaN and the remainder sort arbitrary. Split evenly.
+		for i := range out {
+			out[i] = floor + spare/n
+		}
+		for i := 0; i < spare%n; i++ {
+			out[i]++
+		}
+		return out
+	}
 	type share struct {
 		idx  int
 		frac float64

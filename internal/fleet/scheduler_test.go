@@ -141,6 +141,63 @@ func TestAllocCounts(t *testing.T) {
 	if got[0]+got[1] != 7 {
 		t.Fatalf("left cores idle: %v", got)
 	}
+	// Zero demand AND zero fractions: the d/sum shares would all be NaN
+	// (0/0), making the remainder sort arbitrary. The guard splits evenly.
+	got = allocCounts([]float64{0, 0}, []float64{0, 0}, 8, 1)
+	if !reflect.DeepEqual(got, []int{4, 4}) {
+		t.Fatalf("zero demand, zero fractions: %v", got)
+	}
+	// Odd spare cores land on the lowest-index clients, deterministically.
+	got = allocCounts([]float64{0, 0, 0}, []float64{0, 0, 0}, 8, 1)
+	if !reflect.DeepEqual(got, []int{3, 3, 2}) {
+		t.Fatalf("zero demand odd spare: %v", got)
+	}
+}
+
+// TestDrainRestoreNoMigrationsUnderStatic is the regression test for the
+// restored-server penalty bug: under PolicyStatic nothing ever changes
+// ownership, so a server draining and restoring must produce zero Migrated
+// flags across the whole horizon — the restored cores resume the client
+// they already served. (The old scheduler compared against a prev array
+// that the drain had overwritten with the drained sentinel, so the restore
+// window wrongly paid the migration penalty.)
+func TestDrainRestoreNoMigrationsUnderStatic(t *testing.T) {
+	cfg := planConfig(PolicyStatic)
+	cfg.Scenario = loadgen.Scenario{Events: []loadgen.Event{
+		{Kind: loadgen.EventDrain, Window: 3, Server: 0},
+		{Kind: loadgen.EventRestore, Window: 7, Server: 0},
+	}}
+	p := mustPlan(t, cfg)
+	for c := 0; c < 8; c++ {
+		for w := 0; w < 10; w++ {
+			if p.migrated[c][w] {
+				t.Fatalf("core %d window %d pays a migration penalty under static ownership", c, w)
+			}
+		}
+	}
+	// The full closed-loop engine agrees, independently of the worker
+	// count (the -race CI job runs this).
+	run := func(workers int) Result {
+		c := cfg
+		c.Workers = workers
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	if base.Migrations != 0 {
+		t.Fatalf("static drain/restore run reports %d migrations, want 0", base.Migrations)
+	}
+	if base.DrainedCoreWindows != 8 {
+		t.Fatalf("drained core-windows %d != 8", base.DrainedCoreWindows)
+	}
+	for _, workers := range []int{5, 16} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Fatalf("%d workers diverged from 1 worker", workers)
+		}
+	}
 }
 
 // planConfig is a small two-client fleet for schedule-level tests.
@@ -170,6 +227,7 @@ type testPlan struct {
 	migrated           [][]bool
 	migrations         int
 	drainedCoreWindows int
+	parkedCoreWindows  int
 	idleCoreWindows    int
 }
 
@@ -184,7 +242,7 @@ func mustPlan(t *testing.T, cfg Config) *testPlan {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := newStepper(cfg.Scheduler.withDefaults())
+	st := newStepper(cfg.Scheduler.withDefaults(), cfg.Autoscale.withDefaults())
 	if err := st.Plan(PlanInput{
 		Servers: cfg.Servers, CoresPerServer: cfg.CoresPerServer,
 		Traffic: cfg.Traffic, Timelines: tls,
@@ -212,6 +270,8 @@ func mustPlan(t *testing.T, cfg Config) *testPlan {
 			switch {
 			case asg.Client[c] == coreDrained:
 				p.drainedCoreWindows++
+			case asg.Client[c] == coreParked:
+				p.parkedCoreWindows++
 			case asg.Client[c] == coreIdle:
 				p.idleCoreWindows++
 			default:

@@ -349,6 +349,40 @@ const (
 // (static|proportional|p2c|feedback).
 func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) { return fleet.ParsePolicy(s) }
 
+// Autoscale tunes the fleet's autoscaling layer: servers join/leave the
+// fleet between windows under a scaling policy, with a warm-up cost — a
+// joining server's cores pay the migration penalty for their first active
+// window. Set it on FleetConfig.Autoscale; the zero value keeps every
+// server in service.
+type Autoscale = fleet.AutoscaleConfig
+
+// AutoscalePolicy names a fleet autoscaling policy.
+type AutoscalePolicy = fleet.AutoscalePolicy
+
+// Autoscale policies.
+const (
+	// AutoscaleOff keeps the fleet size fixed.
+	AutoscaleOff = fleet.AutoscaleOff
+	// AutoscaleUtil keeps offered load over in-service saturation
+	// capacity inside the configured utilisation band.
+	AutoscaleUtil = fleet.AutoscaleUtil
+	// AutoscaleViolation scales out on measured QoS-violation
+	// core-windows and in on sustained slack.
+	AutoscaleViolation = fleet.AutoscaleViolation
+)
+
+// ParseAutoscalePolicy resolves a policy name (off|util|violation).
+func ParseAutoscalePolicy(s string) (AutoscalePolicy, error) { return fleet.ParseAutoscalePolicy(s) }
+
+// Autoscaler is the stepped scaling interface: called once per window
+// with the previous window's measured observation and the current fleet
+// state, it returns how many servers should be in service. Supply a
+// custom implementation via Autoscale.Custom.
+type Autoscaler = fleet.Autoscaler
+
+// AutoscaleState is the fleet state handed to an Autoscaler each window.
+type AutoscaleState = fleet.ScaleState
+
 // TailEstimator selects how the fleet estimates tail-latency quantiles at
 // every level (per-request, per-window, per-client, fleet-wide).
 type TailEstimator = stats.TailEstimator
@@ -468,6 +502,24 @@ func Fleet(cfg FleetConfig) (FleetResult, error) { return fleet.Run(cfg) }
 func PeakRPSPerCore(service string, nRequests int, seed uint64) (float64, error) {
 	return fleet.PeakRPSPerCore(service, nRequests, seed)
 }
+
+// CapacitySpec asks for the minimum fleet meeting an SLO budget: a run
+// template (whose Servers field is the search ceiling), a search floor,
+// and the largest tolerable count of QoS-violating core-windows.
+type CapacitySpec = fleet.CapacitySpec
+
+// CapacityPlan is a capacity search result: the minimum fleet meeting the
+// budget (when feasible) and every probed size in evaluation order.
+type CapacityPlan = fleet.CapacityPlan
+
+// CapacityPoint is one probed fleet size within a capacity search.
+type CapacityPoint = fleet.CapacityPoint
+
+// PlanCapacity binary-searches the minimum server count whose
+// full-horizon run meets the SLO budget. Drive it from a recorded trace
+// (TraceFile.Traffic) so the offered load is independent of the fleet
+// size — then the answer is also seed- and worker-count-independent.
+func PlanCapacity(spec CapacitySpec) (CapacityPlan, error) { return fleet.PlanCapacity(spec) }
 
 // --- Trace layer: recorded-traffic ingestion, synthesis and replay ---
 
