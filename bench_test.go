@@ -179,7 +179,9 @@ func benchFleet(b *testing.B, cfg FleetConfig) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		requests += float64(res.Cores) * float64(res.Windows) * float64(cfg.WindowRequests)
+		// Core-windows the analytic fast path answered simulate no requests.
+		simCW := float64(res.Cores)*float64(res.Windows) - float64(res.AnalyticCoreWindows)
+		requests += simCW * float64(cfg.WindowRequests)
 	}
 	b.ReportMetric(requests/b.Elapsed().Seconds(), "req/s")
 }
@@ -216,6 +218,24 @@ func BenchmarkFleetCalibrated1kCores(b *testing.B) {
 // enable: 10000 cores with memory independent of the request count.
 func BenchmarkFleet10kCores(b *testing.B) {
 	benchFleet(b, benchFleetConfig(625, EstimatorDefault)) // 10000 cores
+}
+
+// BenchmarkFleet100kCores runs the same diurnal day at 100k cores under
+// the auto engine: steady windows answered by the analytic fluid fast
+// path, transitional ones (cold starts, mode switches, guard-band
+// excursions) on the discrete simulator.
+func BenchmarkFleet100kCores(b *testing.B) {
+	cfg := benchFleetConfig(6250, EstimatorDefault) // 100000 cores
+	cfg.Engine = EngineAuto
+	benchFleet(b, cfg)
+}
+
+// BenchmarkFleet1MCores is the fluid fast path's tentpole scale target:
+// a 1M-core × 24h fleet day under the auto engine in under a minute.
+func BenchmarkFleet1MCores(b *testing.B) {
+	cfg := benchFleetConfig(62500, EstimatorDefault) // 1000000 cores
+	cfg.Engine = EngineAuto
+	benchFleet(b, cfg)
 }
 
 // BenchmarkFleetAutoscale1kCores guards the autoscaling layer's overhead:

@@ -7,11 +7,22 @@
 //
 //	go test -bench . -benchmem | benchjson -o BENCH_fleet.json
 //	benchjson -o BENCH_fleet.json bench1.txt bench2.txt
+//	benchjson -baseline BENCH_fleet.json -tolerance 4 bench.txt
 //
 // Each benchmark appears once, with every metric averaged over its -count
 // repetitions (runs records how many were folded in). Standard metrics
 // (ns/op, B/op, allocs/op) and custom b.ReportMetric units (e.g. req/s)
 // are treated alike.
+//
+// With -baseline, the parsed input is compared against a previously
+// emitted JSON snapshot instead of (or before) being written: every
+// baseline benchmark must appear in the input with mean ns/op at most
+// -tolerance times its baseline value, or the exit status is 1. The
+// tolerance is deliberately coarse — the committed snapshot records one
+// machine's numbers and CI hardware differs — so the gate catches
+// order-of-magnitude regressions, not noise. Benchmarks new on the input
+// side pass (they become baseline entries when the snapshot is
+// regenerated); benchmarks missing from the input fail closed.
 package main
 
 import (
@@ -67,6 +78,8 @@ type accum struct {
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	baseline := flag.String("baseline", "", "committed snapshot to compare the input against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 4, "with -baseline: fail when mean ns/op exceeds this multiple of the snapshot's")
 	flag.Parse()
 
 	var readers []io.Reader
@@ -91,6 +104,27 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		report, ok := compare(base, rep, *tolerance)
+		fmt.Print(report)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %gx of %s\n", *tolerance, *baseline)
+			os.Exit(1)
+		}
+		if *out == "" {
+			return
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -186,6 +220,53 @@ func parse(r io.Reader) (Report, error) {
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	return rep, nil
+}
+
+// compare checks every baseline benchmark against the head report's mean
+// ns/op, returning a human-readable delta table and whether the head
+// stayed within tolerance×baseline everywhere. Head-only benchmarks are
+// listed but never fail; baseline entries absent from the head fail
+// closed (a gate that silently stops measuring guards nothing).
+func compare(base, head Report, tolerance float64) (string, bool) {
+	heads := make(map[string]Benchmark, len(head.Benchmarks))
+	for _, b := range head.Benchmarks {
+		heads[b.Pkg+"\x00"+b.Name] = b
+	}
+	var sb strings.Builder
+	ok := true
+	for _, b := range base.Benchmarks {
+		key := b.Pkg + "\x00" + b.Name
+		h, found := heads[key]
+		delete(heads, key)
+		baseNs := b.Metrics["ns/op"]
+		if !found {
+			fmt.Fprintf(&sb, "%-40s missing from input\n", b.Name)
+			ok = false
+			continue
+		}
+		headNs := h.Metrics["ns/op"]
+		if baseNs <= 0 {
+			fmt.Fprintf(&sb, "%-40s no baseline ns/op\n", b.Name)
+			continue
+		}
+		ratio := headNs / baseNs
+		verdict := "ok"
+		if headNs > tolerance*baseNs {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(&sb, "%-40s %14.0f -> %14.0f ns/op (%5.2fx) %s\n", b.Name, baseNs, headNs, ratio, verdict)
+	}
+	// Deterministic order for head-only entries.
+	var extra []string
+	for key := range heads {
+		extra = append(extra, key)
+	}
+	sort.Strings(extra)
+	for _, key := range extra {
+		fmt.Fprintf(&sb, "%-40s new (no baseline)\n", heads[key].Name)
+	}
+	return sb.String(), ok
 }
 
 // splitProcs strips the trailing -P GOMAXPROCS suffix from a benchmark

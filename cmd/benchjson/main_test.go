@@ -128,3 +128,43 @@ func TestSplitProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestCompare(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Pkg: "stretch", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkB", Pkg: "stretch", Metrics: map[string]float64{"ns/op": 1000}},
+	}}
+	head := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Pkg: "stretch", Metrics: map[string]float64{"ns/op": 350}},
+		{Name: "BenchmarkB", Pkg: "stretch", Metrics: map[string]float64{"ns/op": 900}},
+		{Name: "BenchmarkNew", Pkg: "stretch", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	// Within 4x everywhere: passes, and the new benchmark is reported
+	// without failing.
+	out, ok := compare(base, head, 4)
+	if !ok {
+		t.Fatalf("in-tolerance comparison failed:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkNew") || !strings.Contains(out, "new (no baseline)") {
+		t.Fatalf("head-only benchmark not reported:\n%s", out)
+	}
+	// 350 ns vs 100 ns exceeds 3x.
+	out, ok = compare(base, head, 3)
+	if ok || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("3.5x regression passed a 3x gate:\n%s", out)
+	}
+	// A baseline benchmark missing from the head fails closed.
+	head.Benchmarks = head.Benchmarks[1:]
+	out, ok = compare(base, head, 4)
+	if ok || !strings.Contains(out, "missing from input") {
+		t.Fatalf("missing benchmark passed:\n%s", out)
+	}
+	// Same name in a different package is not a match.
+	other := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Pkg: "elsewhere", Metrics: map[string]float64{"ns/op": 1}},
+		{Name: "BenchmarkB", Pkg: "stretch", Metrics: map[string]float64{"ns/op": 900}},
+	}}
+	if _, ok := compare(base, other, 4); ok {
+		t.Fatal("cross-package name collision treated as a match")
+	}
+}

@@ -27,6 +27,7 @@ type fleetParams struct {
 	autoMin        int
 	events         string
 	estimator      string
+	engine         string
 	calib          string
 	hours          float64
 	wph, windowReq int
@@ -177,6 +178,10 @@ func buildFleetConfig(p *fleetParams) (fleet.Config, error) {
 	if err != nil {
 		return fleet.Config{}, err
 	}
+	engine, err := fleet.ParseEngine(p.engine)
+	if err != nil {
+		return fleet.Config{}, err
+	}
 	scenario, err := loadgen.ParseEvents(p.events)
 	if err != nil {
 		return fleet.Config{}, err
@@ -233,6 +238,7 @@ func buildFleetConfig(p *fleetParams) (fleet.Config, error) {
 		BatchSpeedupB: p.bSpeedup, LSSlowdownB: p.lsSlowdown,
 		WindowRequests: p.windowReq, Workers: p.workers, Seed: p.seed,
 		TailEstimator: estimator,
+		Engine:        engine,
 		Scheduler:     fleet.SchedulerConfig{Policy: policy},
 		Autoscale:     fleet.AutoscaleConfig{Policy: autoPolicy, MinServers: p.autoMin},
 		Scenario:      scenario,
@@ -334,6 +340,17 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 	if res.TailEstimator == stats.EstimatorHistogram {
 		fmt.Fprintf(&b, "fleet-wide tail over all serving core-windows: p99 %.1f ms, p99.9 %.1f ms (histogram estimator)\n",
 			res.FleetP99Ms, res.FleetP999Ms)
+	}
+	// The engine line only appears on fluid/auto runs, so discrete golden
+	// files keep reproducing byte-identically.
+	if res.Engine != fleet.EngineDiscrete {
+		serving := res.Cores*res.Windows - res.DrainedCoreWindows - res.ParkedCoreWindows - res.IdleCoreWindows
+		pct := 0.0
+		if serving > 0 {
+			pct = 100 * float64(res.AnalyticCoreWindows) / float64(serving)
+		}
+		fmt.Fprintf(&b, "engine %s: %d of %d serving core-windows answered analytically (%.1f%%)\n",
+			res.Engine, res.AnalyticCoreWindows, serving, pct)
 	}
 	// The calibration block only appears on calibrated runs, so
 	// uniform-scalar golden files keep reproducing byte-identically.

@@ -10,15 +10,18 @@
 //	stretchsim -fleet [-servers 64] [-cores 16] [-trace mixed|<file>]
 //	           [-policy static|proportional|p2c|feedback] [-events "drain:24:0,..."]
 //	           [-autoscale off|util|violation] [-autoscale-min 1]
-//	           [-tail-estimator histogram|exact] [-calib default|<path.json>]
+//	           [-tail-estimator histogram|exact] [-engine discrete|fluid|auto]
+//	           [-calib default|<path.json>]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
 //	           [-seed 1] [-fleet-workers 0] [-window-trace]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	stretchsim synth [-spec mixed] [-servers 64] [-cores 16] [-hours 168]
 //	           [-windows-per-hour 4] [-seed 1] [-arrival gamma:1.5]
 //	           [-cohorts 4:1:6] [-events "..."] [-format csv|jsonl] [-o week.trace.csv]
 //	stretchsim plan -trace week.trace.csv [-budget 0] [-cores 16]
 //	           [-min-servers 1] [-max-servers 64] [-policy feedback]
-//	           [-tail-estimator histogram|exact] [-calib default|<path.json>]
+//	           [-tail-estimator histogram|exact] [-engine discrete|fluid|auto]
+//	           [-calib default|<path.json>]
 //	           [-window-requests 400] [-seed 1] [-fleet-workers 0]
 //
 // A -trace value that is not a named spec is replayed from that trace
@@ -32,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"stretch/internal/experiments"
@@ -61,6 +66,7 @@ func main() {
 		autoscale  = flag.String("autoscale", "off", "fleet: autoscaling policy (off|util|violation) — servers join/leave the fleet between windows")
 		autoMin    = flag.Int("autoscale-min", 0, "fleet: autoscaler's in-service server floor (0 = default 1)")
 		estimator  = flag.String("tail-estimator", "histogram", "fleet: tail quantile estimator (histogram|exact)")
+		engine     = flag.String("engine", "discrete", "fleet: window engine — discrete event simulation, the analytic fluid fast path, or per-window auto classification (discrete|fluid|auto)")
 		calibFlag  = flag.String("calib", "", "fleet: per-(service,batch,mode) calibration from the cycle-level model: \"default\" for the committed table, a .json path for an on-disk cache (built on miss), empty for uniform scalars")
 		events     = flag.String("events", "", "fleet: scenario events, e.g. \"drain:24:0,restore:72:0,surge:30-40:video:1.8,perf:3:0.85\" (failover trace has a built-in default)")
 		hours      = flag.Float64("hours", 24, "fleet: horizon in hours")
@@ -71,14 +77,43 @@ func main() {
 		bSpeedup   = flag.Float64("b-speedup", 0.13, "fleet: measured B-mode batch speedup")
 		lsSlowdown = flag.Float64("ls-slowdown", 0.07, "fleet: measured B-mode LS slowdown")
 		winTrace   = flag.Bool("window-trace", false, "fleet: print the per-window fleet series (cores, tails, violations per client)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stretchsim: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "stretchsim: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stretchsim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "stretchsim: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *fleetMode {
 		runFleet(fleetParams{
 			servers: *servers, cores: *cores, trace: *traceName,
 			policy: *policy, autoscale: *autoscale, autoMin: *autoMin,
-			events: *events, estimator: *estimator,
+			events: *events, estimator: *estimator, engine: *engine,
 			calib: *calibFlag,
 			hours: *hours, wph: *wph, windowReq: *windowReq,
 			seed: *seed, workers: *fleetWork,
@@ -152,8 +187,9 @@ func runFleet(p fleetParams) {
 	if p.windowTrace {
 		fmt.Print(formatWindowTrace(res))
 	}
-	simReq := float64(res.Cores)*float64(res.Windows) - float64(res.DrainedCoreWindows+res.ParkedCoreWindows+res.IdleCoreWindows)
-	simReq *= float64(p.windowReq)
+	simCW := float64(res.Cores)*float64(res.Windows) - float64(res.DrainedCoreWindows+res.ParkedCoreWindows+res.IdleCoreWindows)
+	simCW -= float64(res.AnalyticCoreWindows) // analytic windows simulate no requests
+	simReq := simCW * float64(p.windowReq)
 	fmt.Printf("(%.1fs wall, ~%.1fM simulated requests, %.1fM req/s)\n",
 		elapsed.Seconds(), simReq/1e6, simReq/1e6/elapsed.Seconds())
 }

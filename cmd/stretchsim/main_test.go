@@ -42,27 +42,34 @@ func TestFleetGolden(t *testing.T) {
 		estimator     string
 		calib         string
 		autoscale     string
+		engine        string
 	}{
-		{"websearch", "static", 0, "", "", ""},
-		{"video", "static", 0, "", "", ""},
-		{"mixed", "static", 0, "", "", ""},
-		{"mixed", "proportional", 0, "", "", ""},
-		{"mixed", "p2c", 0, "", "", ""},
-		{"failover", "proportional", 0, "", "", ""},
-		{"mixed", "feedback", 0, "", "", ""},
-		{"failover", "feedback", 24, "", "", ""},
-		{"mixed", "static", 0, "histogram", "", ""},
-		{"mixed", "feedback", 0, "histogram", "", ""},
-		{"failover", "feedback", 24, "histogram", "", ""},
+		{"websearch", "static", 0, "", "", "", ""},
+		{"video", "static", 0, "", "", "", ""},
+		{"mixed", "static", 0, "", "", "", ""},
+		{"mixed", "proportional", 0, "", "", "", ""},
+		{"mixed", "p2c", 0, "", "", "", ""},
+		{"failover", "proportional", 0, "", "", "", ""},
+		{"mixed", "feedback", 0, "", "", "", ""},
+		{"failover", "feedback", 24, "", "", "", ""},
+		{"mixed", "static", 0, "histogram", "", "", ""},
+		{"mixed", "feedback", 0, "histogram", "", "", ""},
+		{"failover", "feedback", 24, "histogram", "", "", ""},
 		// Calibrated runs consume the committed default table: per-client
 		// (service, batch) deltas from the cycle-level model, locked with
 		// the per-client calibrated batch-speedup block in the report.
-		{"mixed", "static", 0, "", "default", ""},
-		{"failover", "feedback", 24, "histogram", "default", ""},
+		{"mixed", "static", 0, "", "default", "", ""},
+		{"failover", "feedback", 24, "histogram", "default", "", ""},
 		// The autoscaled day: the util policy parks off-peak capacity and
 		// pays warm-up migrations on the way back up, locked end to end —
 		// policy echo, parked core-windows in the schedule line and all.
-		{"mixed", "feedback", 24, "histogram", "", "util"},
+		{"mixed", "feedback", 24, "histogram", "", "util", ""},
+		// Auto-engine runs lock the fluid fast path's classifier output:
+		// the engine line reports how many serving core-windows were
+		// answered analytically, and the fleet numbers must hold steady
+		// against the discrete goldens above.
+		{"mixed", "feedback", 24, "histogram", "", "", "auto"},
+		{"failover", "feedback", 24, "histogram", "", "", "auto"},
 	}
 	for _, tc := range cases {
 		name := tc.trace + "_" + tc.policy
@@ -75,6 +82,9 @@ func TestFleetGolden(t *testing.T) {
 		if tc.autoscale != "" {
 			name += "_autoscale_" + tc.autoscale
 		}
+		if tc.engine != "" {
+			name += "_" + tc.engine
+		}
 		t.Run(name, func(t *testing.T) {
 			p := goldenParams(tc.trace, tc.policy)
 			if tc.hours != 0 {
@@ -85,6 +95,7 @@ func TestFleetGolden(t *testing.T) {
 			}
 			p.calib = tc.calib
 			p.autoscale = tc.autoscale
+			p.engine = tc.engine
 			cfg, err := buildFleetConfig(&p)
 			if err != nil {
 				t.Fatal(err)
@@ -218,6 +229,7 @@ func TestBuildFleetConfigRejectsBadInput(t *testing.T) {
 		func(p *fleetParams) { p.events = "drain:banana" },
 		func(p *fleetParams) { p.hours = 0 },
 		func(p *fleetParams) { p.estimator = "nope" },
+		func(p *fleetParams) { p.engine = "nope" },
 	}
 	for i, mutate := range bad {
 		p := goldenParams("mixed", "static")

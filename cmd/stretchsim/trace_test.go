@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"stretch/internal/fleet"
+	"stretch/internal/stats"
 )
 
 // weekTracePath is the committed 7-day trace: the mixed spec realised at
@@ -135,6 +137,54 @@ func TestTraceReplayWorkerIndependence(t *testing.T) {
 	for _, workers := range []int{5, 16} {
 		if got := run(workers); !reflect.DeepEqual(base, got) {
 			t.Fatalf("replay with %d workers diverged from 1 worker", workers)
+		}
+	}
+}
+
+// TestTraceReplayAutoMatchesDiscrete is the fluid fast path's accuracy
+// contract on recorded traffic: replaying the committed week trace under
+// the auto engine must answer a substantial share of serving core-windows
+// analytically, land the fleet-wide tail quantiles within the histogram's
+// bucket resolution of the discrete reference, and stay bit-identical
+// across worker pool sizes (the -race CI job runs this too).
+func TestTraceReplayAutoMatchesDiscrete(t *testing.T) {
+	run := func(engine string, workers int) fleet.Result {
+		t.Helper()
+		p := replayParams("feedback")
+		p.windowReq = 60
+		p.engine = engine
+		cfg, err := buildFleetConfig(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = workers
+		res, err := fleet.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	disc := run("discrete", 1)
+	auto := run("auto", 1)
+	if auto.AnalyticCoreWindows == 0 {
+		t.Fatal("auto engine answered no windows analytically; the comparison is vacuous")
+	}
+	// A steady window's analytic answer can move its tail reading by at
+	// most a histogram bucket, and the fleet-wide quantile over all
+	// readings by at most one more: allow a two-bucket ratio either way.
+	bound := math.Pow(2, 2*stats.NewTailHistogram().Resolution())
+	check := func(name string, a, d float64) {
+		t.Helper()
+		if a > d*bound || d > a*bound {
+			t.Errorf("fleet %s: auto %.2f ms vs discrete %.2f ms exceeds the %.3f× bucket-resolution bound",
+				name, a, d, bound)
+		}
+	}
+	check("p99", auto.FleetP99Ms, disc.FleetP99Ms)
+	check("p99.9", auto.FleetP999Ms, disc.FleetP999Ms)
+	for _, workers := range []int{5, 16} {
+		if got := run("auto", workers); !reflect.DeepEqual(auto, got) {
+			t.Fatalf("auto replay with %d workers diverged from 1 worker", workers)
 		}
 	}
 }

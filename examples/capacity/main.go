@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"stretch"
 )
@@ -61,19 +62,30 @@ func main() {
 		Servers: maxServers, CoresPerServer: cores,
 		Traffic:       traffic,
 		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
-		WindowRequests: 200, Seed: 1,
+		WindowRequests: 400, Seed: 1,
 		Scheduler: stretch.Scheduler{Policy: stretch.PolicyFeedback},
 	}
 
-	// How many servers does this day of traffic need?
-	plan, err := stretch.PlanCapacity(stretch.CapacitySpec{
-		Config:              template,
-		MinServers:          1,
-		MaxViolationWindows: budget,
-	})
-	if err != nil {
-		log.Fatal(err)
+	// How many servers does this day of traffic need? Size the fleet twice
+	// — once per window engine — to show the planner's headline win: every
+	// bisection probe replays the full day, so routing steady windows
+	// through the analytic solver (EngineAuto) cuts each probe's cost
+	// while the discrete-grade accuracy contract keeps the answer honest.
+	planWith := func(engine stretch.EngineMode) (stretch.CapacityPlan, time.Duration) {
+		cfg := template
+		cfg.Engine = engine
+		start := time.Now()
+		p, err := stretch.PlanCapacity(stretch.CapacitySpec{
+			Config:              cfg,
+			MinServers:          1,
+			MaxViolationWindows: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p, time.Since(start)
 	}
+	plan, discreteWall := planWith(stretch.EngineDiscrete)
 	fmt.Printf("== sizing: ≤ %d violating core-windows over 24h, %d-%d servers × %d cores ==\n",
 		plan.Budget, plan.MinServers, plan.MaxServers, cores)
 	for i, pt := range plan.Probes {
@@ -89,6 +101,16 @@ func main() {
 	}
 	fmt.Printf("minimum capacity: %d servers = %d cores (%d violations ≤ %d)\n\n",
 		plan.Servers, plan.Cores, plan.ViolationWindows, plan.Budget)
+
+	// The same sizing on the fluid fast path: the auto engine answers
+	// steady core-windows in closed form and must land on a capacity the
+	// discrete plan corroborates.
+	autoPlan, autoWall := planWith(stretch.EngineAuto)
+	fmt.Printf("== engine speedup: planning wall-clock, discrete vs auto ==\n")
+	fmt.Printf("discrete: %d servers in %.2fs   auto: %d servers in %.2fs   speedup %.1f×\n\n",
+		plan.Servers, discreteWall.Seconds(),
+		autoPlan.Servers, autoWall.Seconds(),
+		discreteWall.Seconds()/autoWall.Seconds())
 
 	// Deploy the planned fleet with the util autoscaler: off-peak, whole
 	// servers park (their cores stop serving and harvesting alike) and pay

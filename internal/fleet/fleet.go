@@ -130,6 +130,13 @@ type Config struct {
 	// counts for identical seeds.
 	TailEstimator stats.TailEstimator
 
+	// Engine selects how per-core window tails are computed: the discrete
+	// event-level simulator (the zero value — byte-identical to all
+	// pre-engine results), the analytic fluid fast path wherever sound, or
+	// the per-window auto classifier that keeps transitional windows on
+	// the discrete path. See engine.go.
+	Engine Engine
+
 	// Scheduler selects the core-allocation and load-routing policy; the
 	// zero value is the static Fraction split.
 	Scheduler SchedulerConfig
@@ -172,6 +179,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fleet: negative window request budget")
 	}
 	if err := c.TailEstimator.Validate(); err != nil {
+		return err
+	}
+	if err := c.Engine.Validate(); err != nil {
 		return err
 	}
 	batches := workload.BatchProfiles()
@@ -304,6 +314,9 @@ type WindowObservation struct {
 	BCores int
 	// Migrations counts cores that paid the migration penalty.
 	Migrations int
+	// AnalyticCores counts cores whose window was answered by the
+	// analytic fast path (always zero under the discrete engine).
+	AnalyticCores int
 }
 
 // Result is the fleet-wide aggregation.
@@ -318,6 +331,12 @@ type Result struct {
 	Autoscale AutoscalePolicy
 	// TailEstimator echoes the resolved tail estimator the run used.
 	TailEstimator stats.TailEstimator
+	// Engine echoes the engine the run used; AnalyticCoreWindows counts
+	// the core-windows it answered analytically (zero under discrete —
+	// and the fraction of the horizon the fluid fast path absorbed
+	// otherwise, which is what the speedup is proportional to).
+	Engine              Engine
+	AnalyticCoreWindows int
 	// CalibrationHash is the content hash of the calibration table the run
 	// used; empty means the uniform-scalar fallback.
 	CalibrationHash string
@@ -373,6 +392,7 @@ type coreState struct {
 	ctl      monitor.Controller
 	hasCtl   bool  // ctl has been initialised at least once
 	prev     int16 // client the controller was built for (-4: none yet)
+	lastMode int8  // mode of the previous served window (-1: cold start)
 	switches uint64
 }
 
@@ -384,6 +404,7 @@ type engine struct {
 	nCores, windows, windowReq int
 	migPenalty                 float64
 	monCfg                     func(float64) monitor.Config
+	engineSel                  Engine
 
 	// lsSlowMode and batchRelMode are the per-client per-mode performance
 	// deltas, indexed [client][core.Mode]: the LS thread's slowdown
@@ -400,9 +421,20 @@ type engine struct {
 	streams []rng.Stream
 	states  []coreState
 
+	// Fluid fast-path classification inputs, resolved once per run:
+	// utilCoef[ci] turns a per-core rate into a utilization (util =
+	// rate·utilCoef/perf), fluidOK[ci] records whether the client's
+	// service is inside the analytic solver's structural caps, and
+	// unsteady[ci][w] flags windows with burst or surge turbulence, which
+	// auto keeps on the discrete path.
+	utilCoef []float64
+	fluidOK  []bool
+	unsteady [][]bool
+
 	tails    []float64
 	batchRel []float64
 	modeB    []bool
+	analytic []bool
 	client   []int16
 	errs     []error
 
@@ -502,6 +534,7 @@ func Run(cfg Config) (Result, error) {
 	e := &engine{
 		nCores: nCores, windows: windows, windowReq: windowReq,
 		migPenalty: sched.MigrationPenalty, monCfg: monCfg,
+		engineSel:    cfg.Engine,
 		lsSlowMode:   lsSlowMode,
 		batchRelMode: batchRelMode,
 		targets:      targets,
@@ -518,7 +551,34 @@ func Run(cfg Config) (Result, error) {
 	for c := 0; c < nCores; c++ {
 		e.perf[c] = perfGen[c/cfg.CoresPerServer]
 		e.streams[c] = *root.Derive(uint64(c))
-		e.states[c] = coreState{prev: -4} // matches no client and no sentinel
+		e.states[c] = coreState{prev: -4, lastMode: -1} // matches no client and no sentinel
+	}
+	if cfg.Engine != EngineDiscrete {
+		// Resolve the classification inputs: per-client utilization
+		// coefficients, structural solver feasibility (probed once at a
+		// comfortably steady utilization — the refusals that matter here
+		// are rate-independent caps), and the steadiness mask from the
+		// traffic shapes and scenario surges.
+		e.analytic = make([]bool, nCores*windows)
+		e.utilCoef = make([]float64, n)
+		e.fluidOK = make([]bool, n)
+		e.unsteady = make([][]bool, n)
+		names := make([]string, n)
+		for ci, cl := range cfg.Traffic.Clients {
+			names[ci] = cl.Name
+		}
+		surges := cfg.Scenario.SurgeMatrix(names, windows)
+		for ci, cl := range cfg.Traffic.Clients {
+			e.utilCoef[ci] = queueing.Utilization(qcfgs[ci], 1, 1)
+			if e.utilCoef[ci] > 0 && !math.IsInf(e.utilCoef[ci], 0) {
+				_, err := queueing.Analytic(qcfgs[ci], 0.1/e.utilCoef[ci], 1)
+				e.fluidOK[ci] = err == nil
+			}
+			e.unsteady[ci] = make([]bool, windows)
+			for w := 0; w < windows; w++ {
+				e.unsteady[ci][w] = loadgen.ShapeUnsteady(cl.Spec.Shape, w, windows) || surges[ci][w] != 1
+			}
+		}
 	}
 
 	workers := cfg.Workers
@@ -529,10 +589,17 @@ func Run(cfg Config) (Result, error) {
 		workers = nCores
 	}
 	// One reusable Simulator per worker: the queueing heaps and sample
-	// buffers live across the whole horizon.
+	// buffers live across the whole horizon. Under the fluid/auto engines
+	// each worker also carries its own analytic solve cache — the solver
+	// is pure, so per-worker caching cannot perturb results, only skip
+	// recomputing identical steady states.
 	sims := make([]*queueing.Simulator, workers)
+	caches := make([]map[analyticKey]float64, workers)
 	for i := range sims {
 		sims[i] = new(queueing.Simulator)
+		if cfg.Engine != EngineDiscrete {
+			caches[i] = make(map[analyticKey]float64)
+		}
 	}
 	if est == stats.EstimatorHistogram {
 		e.shards = make([][]*stats.Histogram, workers)
@@ -574,16 +641,16 @@ func Run(cfg Config) (Result, error) {
 				shard = e.shards[wk]
 			}
 			wg.Add(1)
-			go func(sim *queueing.Simulator, shard []*stats.Histogram) {
+			go func(sim *queueing.Simulator, shard []*stats.Histogram, cache map[analyticKey]float64) {
 				defer wg.Done()
 				for {
 					c := int(atomic.AddInt64(&next, 1))
 					if c >= nCores {
 						return
 					}
-					e.stepCore(c, w, asg, sim, shard)
+					e.stepCore(c, w, asg, sim, shard, cache)
 				}
-			}(sims[wk], shard)
+			}(sims[wk], shard, caches[wk])
 		}
 		wg.Wait()
 		for c := 0; c < nCores; c++ {
@@ -599,11 +666,13 @@ func Run(cfg Config) (Result, error) {
 
 	// Schedule bookkeeping falls out of the per-window observations.
 	migrations, drainedCoreWindows, parkedCoreWindows, idleCoreWindows := 0, 0, 0, 0
+	analyticCoreWindows := 0
 	for _, o := range winTrace {
 		migrations += o.Migrations
 		drainedCoreWindows += o.DrainedCores
 		parkedCoreWindows += o.ParkedCores
 		idleCoreWindows += o.IdleCores
+		analyticCoreWindows += o.AnalyticCores
 	}
 	initialCores := make([]int, n)
 	if len(winTrace) > 0 {
@@ -621,16 +690,18 @@ func Run(cfg Config) (Result, error) {
 	}
 	res := Result{
 		Cores: nCores, Windows: windows, WindowSec: cfg.Traffic.WindowSec,
-		Policy:             sched.Policy,
-		Autoscale:          auto.Policy,
-		TailEstimator:      est,
-		CalibrationHash:    calibHash,
-		TotalCoreHours:     float64(nCores) * cfg.Traffic.Hours(),
-		Migrations:         migrations,
-		DrainedCoreWindows: drainedCoreWindows,
-		ParkedCoreWindows:  parkedCoreWindows,
-		IdleCoreWindows:    idleCoreWindows,
-		WindowTrace:        winTrace,
+		Policy:              sched.Policy,
+		Autoscale:           auto.Policy,
+		TailEstimator:       est,
+		Engine:              cfg.Engine,
+		AnalyticCoreWindows: analyticCoreWindows,
+		CalibrationHash:     calibHash,
+		TotalCoreHours:      float64(nCores) * cfg.Traffic.Hours(),
+		Migrations:          migrations,
+		DrainedCoreWindows:  drainedCoreWindows,
+		ParkedCoreWindows:   parkedCoreWindows,
+		IdleCoreWindows:     idleCoreWindows,
+		WindowTrace:         winTrace,
 	}
 	windowHours := cfg.Traffic.WindowSec / 3600
 	// Under the exact estimator the per-client and fleet-wide tails need
@@ -709,13 +780,14 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// stepCore advances one SMT core through one window: simulate the window's
-// arrivals at the engaged mode's perf factor (scaled by the server's
-// generation and any migration penalty), feed the measured tail to the
-// core's persistent controller, credit the batch thread, and — under the
-// histogram estimator — record the tail into the worker's per-client shard
-// for the barrier merge.
-func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, shard []*stats.Histogram) {
+// stepCore advances one SMT core through one window: resolve the window's
+// tail — analytically when the engine classifies the (core, window) steady,
+// through the event-level simulator otherwise — at the engaged mode's perf
+// factor (scaled by the server's generation and any migration penalty),
+// feed the measured tail to the core's persistent controller, credit the
+// batch thread, and — under the histogram estimator — record the tail into
+// the worker's per-client shard for the barrier merge.
+func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, shard []*stats.Histogram, cache map[analyticKey]float64) {
 	idx := c*e.windows + w
 	ci := asg.Client[c]
 	e.client[idx] = ci
@@ -740,6 +812,7 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, sha
 		}
 		st.hasCtl = true
 		st.prev = ci
+		st.lastMode = -1 // cold start: auto keeps the first window discrete
 	}
 	mode := st.ctl.Mode()
 	perf := e.perf[c]
@@ -755,17 +828,42 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, sha
 	}
 	var tail float64
 	if rate := asg.Rate[c]; rate > 0 {
-		seed := e.streams[c].Derive(uint64(w)).Uint64()
-		if err := sim.Reset(e.qcfgs[ci]); err != nil {
-			e.errs[c] = err
-			return
+		// Engine classification. Fluid takes the analytic path wherever it
+		// is sound; auto additionally demands a steady window — settled
+		// mode, no migration cold-start, no burst/surge turbulence, and
+		// utilization inside the guard band. A solver refusal falls back
+		// to the discrete path, never errors the run.
+		solved := false
+		if e.engineSel != EngineDiscrete && e.fluidOK[ci] {
+			util := rate * e.utilCoef[ci] / perf
+			steady := false
+			if e.engineSel == EngineFluid {
+				steady = util < queueing.AnalyticMaxUtilization
+			} else {
+				steady = util <= autoSteadyMaxUtil && int8(mode) == st.lastMode &&
+					!asg.Migrated[c] && !e.unsteady[ci][w]
+			}
+			if steady {
+				if t, ok := e.analyticTail(ci, rate, perf, cache); ok {
+					tail = t
+					e.analytic[idx] = true
+					solved = true
+				}
+			}
 		}
-		qr, err := sim.Simulate(rate, e.windowReq, perf, seed)
-		if err != nil {
-			e.errs[c] = err
-			return
+		if !solved {
+			seed := e.streams[c].Derive(uint64(w)).Uint64()
+			if err := sim.Reset(e.qcfgs[ci]); err != nil {
+				e.errs[c] = err
+				return
+			}
+			qr, err := sim.Simulate(rate, e.windowReq, perf, seed)
+			if err != nil {
+				e.errs[c] = err
+				return
+			}
+			tail = qr.QoSMs
 		}
-		tail = qr.QoSMs
 	}
 	// An idle window — a Poisson draw of zero arrivals, or a window the
 	// scheduler routed no load to — skips the queueing simulation entirely
@@ -789,6 +887,7 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, sha
 	} else {
 		e.batchRel[idx] = e.batchRelMode[ci][mode]
 	}
+	st.lastMode = int8(mode)
 	st.ctl.Observe(monitor.Observation{TailMs: tail})
 }
 
@@ -829,6 +928,9 @@ func (e *engine) observe(w int, asg Assignment) WindowObservation {
 			co.MeanSlack += e.states[c].ctl.Slack()
 			if asg.Migrated[c] {
 				o.Migrations++
+			}
+			if e.analytic != nil && e.analytic[idx] {
+				o.AnalyticCores++
 			}
 			if e.winSamples != nil {
 				e.winSamples[cl].Add(t)

@@ -155,12 +155,28 @@ func (h *minHeap) popMin() float64 {
 // pays no per-window heap allocations. The zero value is ready after Reset.
 // A Simulator is not safe for concurrent use; share one per goroutine.
 type Simulator struct {
-	cfg     Config
-	workers minHeap
-	waiting minHeap
-	lat     *stats.Sample
-	hist    *stats.Histogram
+	cfg Config
+	// validated marks cfg as having passed Validate, letting Reset skip
+	// revalidating an unchanged config on the fleet's per-window hot loop.
+	// A bare equality check would not do: the zero Simulator's zero cfg
+	// must still be rejected until a Validate has actually run.
+	validated bool
+	workers   minHeap
+	waiting   minHeap
+	lat       *stats.Sample
+	hist      *stats.Histogram
+	// arrGaps/arrHeads buffer batched (inter-arrival gap, burst head) draw
+	// pairs from the arrival stream, refilled in blocks so the hot loop
+	// amortises the per-draw call overhead. Consumption order is identical
+	// to the historical per-arrival draws (rng.Stream.FillArrivals).
+	arrGaps  []float64
+	arrHeads []bool
 }
+
+// arrivalBatch is the block size of buffered arrival draws. Over-drawing
+// past the last arrival is harmless: the arrival stream is derived fresh
+// per Simulate call and discarded with it.
+const arrivalBatch = 256
 
 // NewSimulator builds a Simulator for cfg.
 func NewSimulator(cfg Config) (*Simulator, error) {
@@ -172,12 +188,20 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 }
 
 // Reset swaps in a service configuration, keeping the allocated heaps and
-// sample buffer for reuse by the next Simulate call.
+// sample buffer for reuse by the next Simulate call. Resetting to the
+// configuration already in place (the common case on the fleet's
+// per-window loop, where a core keeps its client across windows) skips
+// the revalidation: Config is a comparable value type, so equality means
+// the earlier Validate verdict still holds.
 func (s *Simulator) Reset(cfg Config) error {
+	if s.validated && cfg == s.cfg {
+		return nil
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	s.cfg = cfg
+	s.validated = true
 	return nil
 }
 
@@ -242,6 +266,16 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 	maxQ := 0
 	pending := 0 // requests in this burst still to arrive at `now`
 
+	// Arrival draws are consumed from a block-refilled buffer: one
+	// (gap, head) pair per burst head, in exactly the order the unbatched
+	// loop drew them, so results stay bit-identical while the hot loop
+	// sheds most of the per-draw call overhead.
+	if s.arrGaps == nil {
+		s.arrGaps = make([]float64, arrivalBatch)
+		s.arrHeads = make([]bool, arrivalBatch)
+	}
+	arrPos := arrivalBatch // empty: first use triggers a refill
+
 	// waiting holds the start times of requests that have arrived but not
 	// yet begun service. Draining it as the arrival clock advances tracks
 	// the queue depth incrementally — O(log n) amortised per request —
@@ -253,13 +287,18 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 		if pending > 0 {
 			pending--
 		} else {
-			now += arr.Exp(meanGapMs)
-			if arr.Bernoulli(cfg.BurstProb) {
+			if arrPos == arrivalBatch {
+				arr.FillArrivals(s.arrGaps, s.arrHeads, meanGapMs, cfg.BurstProb)
+				arrPos = 0
+			}
+			now += s.arrGaps[arrPos]
+			if s.arrHeads[arrPos] {
 				pending = int(cfg.BurstLen) - 1
 				if pending < 0 {
 					pending = 0
 				}
 			}
+			arrPos++
 		}
 		free := workers.popMin()
 		start := free

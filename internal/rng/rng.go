@@ -70,6 +70,22 @@ func (s *Stream) Exp(mean float64) float64 {
 	return -mean * math.Log(1-u)
 }
 
+// FillArrivals fills gaps[i] with an Exp(mean) draw and heads[i] with a
+// Bernoulli(p) draw, interleaved pairwise — exactly the draw sequence of a
+// sequential caller alternating Exp and Bernoulli per arrival, so batched
+// consumers (the queueing simulator's arrival loop) stay bit-identical to
+// the unbatched loop. gaps and heads must have the same length.
+func (s *Stream) FillArrivals(gaps []float64, heads []bool, mean, p float64) {
+	for i := range gaps {
+		u := s.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gaps[i] = -mean * math.Log(1-u)
+		heads[i] = s.Float64() < p
+	}
+}
+
 // Geometric returns a geometrically distributed integer >= 1 with the given
 // mean (mean must be >= 1).
 func (s *Stream) Geometric(mean float64) int {

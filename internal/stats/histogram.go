@@ -169,6 +169,41 @@ func (h *Histogram) Add(x float64) {
 	h.total++
 }
 
+// AddN records x n times in one bucket update — the bulk-fill path for
+// analytic callers depositing a closed-form distribution's probability
+// mass as integer counts (internal/queueing.Analytic), so an analytically
+// filled histogram merges and quantiles exactly like a sampled one.
+func (h *Histogram) AddN(x float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[h.bucket(x)] += n
+	h.total += n
+}
+
+// NumBuckets returns the number of buckets, including the underflow
+// bucket at index 0 and the clamping top bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// UpperBound returns the exclusive upper edge of bucket i: the minimum
+// trackable value for the underflow bucket 0, +Inf for the top bucket
+// (which absorbs everything at or above the maximum). Together with the
+// midpoint convention of Quantile, the edges let analytic callers evaluate
+// a CDF on exactly the grid a sampled histogram would discretise to.
+func (h *Histogram) UpperBound(i int) float64 {
+	if i <= 0 {
+		return h.min
+	}
+	if i >= len(h.counts)-1 {
+		return math.Inf(1)
+	}
+	o := (i - 1) / h.perOctave
+	sub := (i - 1) % h.perOctave
+	base := h.min * math.Ldexp(1, o) // min × 2^o
+	width := base / float64(h.perOctave)
+	return base + width*float64(sub+1)
+}
+
 // N returns the number of recorded observations.
 func (h *Histogram) N() int { return int(h.total) }
 

@@ -1,0 +1,49 @@
+// Profiling hook for benchmark runs: setting STRETCH_PPROF=<dir> wraps the
+// whole `go test -bench` invocation in a CPU profile and writes a heap
+// snapshot on exit (<dir>/cpu.pprof, <dir>/mem.pprof). It exists so CI and
+// scripted bench sweeps can collect profiles without threading go test's
+// -cpuprofile flags through every wrapper; interactive use can keep the
+// standard flags. Unset, TestMain adds nothing.
+package stretch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	dir := os.Getenv("STRETCH_PPROF")
+	if dir == "" {
+		os.Exit(m.Run())
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "STRETCH_PPROF: %v\n", err)
+		os.Exit(1)
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "STRETCH_PPROF: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		fmt.Fprintf(os.Stderr, "STRETCH_PPROF: %v\n", err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	pprof.StopCPUProfile()
+	cpu.Close()
+	if mem, err := os.Create(filepath.Join(dir, "mem.pprof")); err == nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mem); err != nil {
+			fmt.Fprintf(os.Stderr, "STRETCH_PPROF: %v\n", err)
+		}
+		mem.Close()
+	} else {
+		fmt.Fprintf(os.Stderr, "STRETCH_PPROF: %v\n", err)
+	}
+	os.Exit(code)
+}
