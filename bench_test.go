@@ -249,6 +249,18 @@ func BenchmarkFleetAutoscale1kCores(b *testing.B) {
 	benchFleet(b, cfg)
 }
 
+// BenchmarkFleetDecisionTrace1kCores guards the decision-tracing
+// acceptance bound: the same 1008-core day with a summary trace recorded
+// per window. Record building is O(clients) bookkeeping behind the window
+// barrier, so the delta against BenchmarkFleet1kCores must stay within
+// noise (<2%) — and with tracing off the stepper's only extra work is one
+// level check per window.
+func BenchmarkFleetDecisionTrace1kCores(b *testing.B) {
+	cfg := benchFleetConfig(63, EstimatorDefault)
+	cfg.DecisionTrace = DecisionTraceSummary
+	benchFleet(b, cfg)
+}
+
 // BenchmarkPlanCapacity guards the capacity planner end to end: an
 // in-memory recorded trace, bisected over a 16-server range. Each probe is
 // a full fleet run, so this is the planner's real cost profile (dominated

@@ -20,22 +20,24 @@ import (
 
 // fleetParams mirrors the -fleet flag set.
 type fleetParams struct {
-	servers, cores int
-	trace          string
-	policy         string
-	autoscale      string
-	autoMin        int
-	events         string
-	estimator      string
-	engine         string
-	calib          string
-	hours          float64
-	wph, windowReq int
-	seed           uint64
-	workers        int
-	bSpeedup       float64
-	lsSlowdown     float64
-	windowTrace    bool
+	servers, cores  int
+	trace           string
+	policy          string
+	autoscale       string
+	autoMin         int
+	events          string
+	estimator       string
+	engine          string
+	calib           string
+	hours           float64
+	wph, windowReq  int
+	seed            uint64
+	workers         int
+	bSpeedup        float64
+	lsSlowdown      float64
+	windowTrace     bool
+	traceLevel      string
+	counterfactualK int
 }
 
 // fleetTraces lists the named traffic specs.
@@ -186,6 +188,16 @@ func buildFleetConfig(p *fleetParams) (fleet.Config, error) {
 	if err != nil {
 		return fleet.Config{}, err
 	}
+	traceLevel, err := fleet.ParseTraceLevel(p.traceLevel)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	if p.counterfactualK < 0 {
+		return fleet.Config{}, fmt.Errorf("negative -counterfactual-k %d", p.counterfactualK)
+	}
+	if p.counterfactualK > 0 && traceLevel == fleet.TraceOff {
+		return fleet.Config{}, fmt.Errorf("-counterfactual-k needs -trace-level summary or full")
+	}
 
 	var (
 		clients   []loadgen.Client
@@ -237,11 +249,13 @@ func buildFleetConfig(p *fleetParams) (fleet.Config, error) {
 		Calibration:   table,
 		BatchSpeedupB: p.bSpeedup, LSSlowdownB: p.lsSlowdown,
 		WindowRequests: p.windowReq, Workers: p.workers, Seed: p.seed,
-		TailEstimator: estimator,
-		Engine:        engine,
-		Scheduler:     fleet.SchedulerConfig{Policy: policy},
-		Autoscale:     fleet.AutoscaleConfig{Policy: autoPolicy, MinServers: p.autoMin},
-		Scenario:      scenario,
+		TailEstimator:   estimator,
+		Engine:          engine,
+		Scheduler:       fleet.SchedulerConfig{Policy: policy},
+		DecisionTrace:   traceLevel,
+		CounterfactualK: p.counterfactualK,
+		Autoscale:       fleet.AutoscaleConfig{Policy: autoPolicy, MinServers: p.autoMin},
+		Scenario:        scenario,
 	}, nil
 }
 
@@ -379,6 +393,83 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 	} else if res.Migrations+res.DrainedCoreWindows+res.IdleCoreWindows > 0 {
 		fmt.Fprintf(&b, "schedule: %d migration, %d drained, %d idle core-windows\n",
 			res.Migrations, res.DrainedCoreWindows, res.IdleCoreWindows)
+	}
+	return b.String()
+}
+
+// formatDecisionTrace renders the decision-trace report block: the
+// horizon's rebalance/migration totals, the counterfactual regret summary
+// when the evaluator ran, and one row per *active* window — a window where
+// the allocator wanted to move cores (rebalanced or suppressed) — with the
+// per-client allocation transition and the signals that drove it. Quiet
+// windows (no desired moves) are elided: a week has thousands of them and
+// they all say "nothing happened".
+func formatDecisionTrace(res fleet.Result) string {
+	var b strings.Builder
+	rebalances, forced, suppressed, moves, migrations := 0, 0, 0, 0, 0
+	cumRegret, regretFree := 0.0, 0
+	hasCF := false
+	for _, d := range res.DecisionTrace {
+		if d.Rebalanced {
+			rebalances++
+		}
+		if d.Forced {
+			forced++
+		}
+		if d.Suppressed {
+			suppressed++
+		}
+		moves += d.Moves
+		migrations += d.Migrations
+		if d.Counterfactual != nil {
+			hasCF = true
+			cumRegret += d.Counterfactual.Regret
+			if d.Counterfactual.Regret == 0 {
+				regretFree++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\ndecision trace (%d windows): %d rebalances (%d forced, %d suppressed), %d desired core-moves, %d migration core-windows\n",
+		len(res.DecisionTrace), rebalances, forced, suppressed, moves, migrations)
+	if hasCF {
+		fmt.Fprintf(&b, "counterfactual: cumulative regret %.1f violation core-windows; chosen assignment was best in %d/%d windows\n",
+			cumRegret, regretFree, len(res.DecisionTrace))
+	}
+	active := 0
+	for _, d := range res.DecisionTrace {
+		if d.Moves == 0 {
+			continue
+		}
+		active++
+		action := "rebalance"
+		if d.Suppressed {
+			action = "suppressed"
+		}
+		if d.Forced && d.Rebalanced {
+			action = "rebalance(forced)"
+		}
+		fmt.Fprintf(&b, "win %-4d %-17s %2d moves %2d migr", d.Window, action, d.Moves, d.Migrations)
+		if d.Counterfactual != nil {
+			fmt.Fprintf(&b, " regret %4.1f", d.Counterfactual.Regret)
+		}
+		for ci, cd := range d.Clients {
+			name := "?"
+			if ci < len(res.Clients) {
+				name = res.Clients[ci].Client
+			}
+			delta := "="
+			if cd.Gained > 0 {
+				delta = fmt.Sprintf("+%d", cd.Gained)
+			} else if cd.Lost > 0 {
+				delta = fmt.Sprintf("-%d", cd.Lost)
+			}
+			fmt.Fprintf(&b, " | %s %d(%s) w=%.2f viol=%d slack=%+.2f",
+				name, cd.Cores, delta, cd.Weight, cd.Violations, cd.Slack)
+		}
+		b.WriteString("\n")
+	}
+	if active == 0 {
+		b.WriteString("no windows with desired core-moves over the horizon\n")
 	}
 	return b.String()
 }

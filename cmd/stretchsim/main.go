@@ -14,6 +14,7 @@
 //	           [-calib default|<path.json>]
 //	           [-hours 24] [-windows-per-hour 4] [-window-requests 400]
 //	           [-seed 1] [-fleet-workers 0] [-window-trace]
+//	           [-trace-level off|summary|full] [-counterfactual-k 0]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	stretchsim synth [-spec mixed] [-servers 64] [-cores 16] [-hours 168]
 //	           [-windows-per-hour 4] [-seed 1] [-arrival gamma:1.5]
@@ -23,12 +24,18 @@
 //	           [-tail-estimator histogram|exact] [-engine discrete|fluid|auto]
 //	           [-calib default|<path.json>]
 //	           [-window-requests 400] [-seed 1] [-fleet-workers 0]
+//	stretchsim search [-traces week.trace.csv,failover] [-servers 4] [-cores 4]
+//	           [-weights viol=1,batch=0.5,migr=0.05,fair=25] [-top 0]
+//	           [-tail-estimator histogram|exact] [-hours 24]
+//	           [-windows-per-hour 4] [-window-requests 150] [-seed 1]
 //
 // A -trace value that is not a named spec is replayed from that trace
 // file (as written by synth or by fleet tooling recording production
 // traffic); the replay adopts the file's horizon and embedded events.
 // plan binary-searches the minimum server count whose full-trace replay
-// stays within the SLO budget of violating core-windows.
+// stays within the SLO budget of violating core-windows. search sweeps
+// the scheduler-candidate grid over a comma-separated trace suite and
+// ranks the candidates by weighted multi-objective fitness.
 package main
 
 import (
@@ -50,6 +57,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "plan" {
 		runPlan(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "search" {
+		runSearch(os.Args[2:])
 		return
 	}
 
@@ -77,6 +88,8 @@ func main() {
 		bSpeedup   = flag.Float64("b-speedup", 0.13, "fleet: measured B-mode batch speedup")
 		lsSlowdown = flag.Float64("ls-slowdown", 0.07, "fleet: measured B-mode LS slowdown")
 		winTrace   = flag.Bool("window-trace", false, "fleet: print the per-window fleet series (cores, tails, violations per client)")
+		traceLevel = flag.String("trace-level", "off", "fleet: decision-trace level (off|summary|full) — records every scheduling decision and prints the decision-trace report")
+		cfK        = flag.Int("counterfactual-k", 0, "fleet: evaluate up to K alternative assignments per traced window and report the chosen assignment's regret (needs -trace-level)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	)
@@ -119,6 +132,7 @@ func main() {
 			seed: *seed, workers: *fleetWork,
 			bSpeedup: *bSpeedup, lsSlowdown: *lsSlowdown,
 			windowTrace: *winTrace,
+			traceLevel:  *traceLevel, counterfactualK: *cfK,
 		})
 		return
 	}
@@ -186,6 +200,9 @@ func runFleet(p fleetParams) {
 	fmt.Print(formatFleetResult(p, cfg, res))
 	if p.windowTrace {
 		fmt.Print(formatWindowTrace(res))
+	}
+	if cfg.DecisionTrace != fleet.TraceOff {
+		fmt.Print(formatDecisionTrace(res))
 	}
 	simCW := float64(res.Cores)*float64(res.Windows) - float64(res.DrainedCoreWindows+res.ParkedCoreWindows+res.IdleCoreWindows)
 	simCW -= float64(res.AnalyticCoreWindows) // analytic windows simulate no requests

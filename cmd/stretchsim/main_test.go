@@ -230,6 +230,9 @@ func TestBuildFleetConfigRejectsBadInput(t *testing.T) {
 		func(p *fleetParams) { p.hours = 0 },
 		func(p *fleetParams) { p.estimator = "nope" },
 		func(p *fleetParams) { p.engine = "nope" },
+		func(p *fleetParams) { p.traceLevel = "nope" },
+		func(p *fleetParams) { p.counterfactualK = -1 },
+		func(p *fleetParams) { p.counterfactualK = 2 }, // needs -trace-level
 	}
 	for i, mutate := range bad {
 		p := goldenParams("mixed", "static")

@@ -15,7 +15,9 @@ package fleet
 // a few windows rather than slamming the fleet on one bad reading.
 const (
 	// feedbackGain scales how fast a violating client's weight grows:
-	// weight ×= 1 + gain × (violating fraction of its cores).
+	// weight ×= 1 + gain × (violating fraction of its cores). This and
+	// feedbackDecay are the defaults behind SchedulerConfig.FeedbackGain
+	// and FeedbackDecay, the two knobs the search driver sweeps.
 	feedbackGain = 1.5
 	// feedbackSlackRich is the mean measured headroom (fraction of the
 	// tail target, from the per-core monitors) beyond which a client is
@@ -36,6 +38,10 @@ const (
 type feedbackAlloc struct {
 	weight []float64
 }
+
+// weights exposes the pressure weights to decision tracing (decision.go);
+// nil until the first desired call.
+func (f *feedbackAlloc) weights() []float64 { return f.weight }
 
 // desired updates the pressure weights from the previous window's
 // observation, then allocates cores proportionally to weighted demand.
@@ -63,9 +69,9 @@ func (f *feedbackAlloc) desired(e *elastic, _ int, obs *WindowObservation) []int
 				// proportional share instead of starving forever.
 				f.weight[ci] += (1 - f.weight[ci]) * feedbackRelax
 			case o.Violations > 0:
-				f.weight[ci] *= 1 + feedbackGain*float64(o.Violations)/float64(o.Cores)
+				f.weight[ci] *= 1 + e.sched.FeedbackGain*float64(o.Violations)/float64(o.Cores)
 			case o.MeanSlack > feedbackSlackRich:
-				f.weight[ci] *= feedbackDecay
+				f.weight[ci] *= e.sched.FeedbackDecay
 			default:
 				f.weight[ci] += (1 - f.weight[ci]) * feedbackRelax
 			}

@@ -1,0 +1,114 @@
+// Multi-objective fitness: one number ranking a fleet run for the policy
+// search driver (search.go). A scheduling policy trades QoS-violation
+// core-windows against batch core-hours gained, migration churn and
+// fairness across clients; the weighted sum makes the trade explicit and
+// tunable, and the weight-spec grammar makes it scriptable from the CLI
+// (stretchsim search -weights).
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// FitnessWeights weighs the four fleet objectives. Violations and
+// Migrations are costs (subtracted), BatchHours and Fairness rewards
+// (added); all weights are non-negative, direction is fixed by Score.
+type FitnessWeights struct {
+	// Violations is the cost per QoS-violating core-window.
+	Violations float64
+	// BatchHours is the reward per batch core-hour gained versus equal
+	// partitioning.
+	BatchHours float64
+	// Migrations is the cost per migration core-window.
+	Migrations float64
+	// Fairness scales the Jain fairness index over per-client SLO
+	// fulfilment (a [0,1] number, so this weight sets how many violation
+	// core-windows perfect fairness is worth).
+	Fairness float64
+}
+
+// DefaultFitnessWeights is the hand-picked trade: a violation core-window
+// costs twice what a batch core-hour earns, migrations are a light churn
+// tax, and the fairness range is worth 25 violation core-windows.
+func DefaultFitnessWeights() FitnessWeights {
+	return FitnessWeights{Violations: 1, BatchHours: 0.5, Migrations: 0.05, Fairness: 25}
+}
+
+// Validate rejects unusable weights (negative, NaN or infinite).
+func (w FitnessWeights) Validate() error {
+	for _, kv := range []struct {
+		key string
+		v   float64
+	}{
+		{"viol", w.Violations}, {"batch", w.BatchHours},
+		{"migr", w.Migrations}, {"fair", w.Fairness},
+	} {
+		if math.IsNaN(kv.v) || math.IsInf(kv.v, 0) || kv.v < 0 {
+			return fmt.Errorf("fleet: fitness weight %s=%v must be finite and non-negative", kv.key, kv.v)
+		}
+	}
+	return nil
+}
+
+// String renders the canonical weight spec: every key in fixed order, so
+// ParseFitnessWeights(w.String()) reproduces w exactly (the fuzz harness'
+// fixpoint).
+func (w FitnessWeights) String() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return "viol=" + f(w.Violations) + ",batch=" + f(w.BatchHours) +
+		",migr=" + f(w.Migrations) + ",fair=" + f(w.Fairness)
+}
+
+// ParseFitnessWeights resolves a weight spec: comma-separated key=value
+// pairs over the keys viol, batch, migr and fair, each at most once —
+// e.g. "viol=1,batch=0.5". Unspecified keys keep their default weight;
+// the empty spec is DefaultFitnessWeights.
+func ParseFitnessWeights(s string) (FitnessWeights, error) {
+	w := DefaultFitnessWeights()
+	if s == "" {
+		return w, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return FitnessWeights{}, fmt.Errorf("fleet: fitness weight %q is not key=value", part)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return FitnessWeights{}, fmt.Errorf("fleet: fitness weight %s: %v", key, err)
+		}
+		if seen[key] {
+			return FitnessWeights{}, fmt.Errorf("fleet: duplicate fitness weight %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "viol":
+			w.Violations = v
+		case "batch":
+			w.BatchHours = v
+		case "migr":
+			w.Migrations = v
+		case "fair":
+			w.Fairness = v
+		default:
+			return FitnessWeights{}, fmt.Errorf("fleet: unknown fitness weight %q (viol|batch|migr|fair)", key)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return FitnessWeights{}, err
+	}
+	return w, nil
+}
+
+// Score evaluates one run under the weights: rewards minus costs, higher
+// is better.
+func (w FitnessWeights) Score(res Result) float64 {
+	return -w.Violations*float64(res.ViolationWindows) +
+		w.BatchHours*res.BatchCoreHoursGained -
+		w.Migrations*float64(res.Migrations) +
+		w.Fairness*res.FairnessIndex
+}

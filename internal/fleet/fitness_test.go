@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseFitnessWeights(t *testing.T) {
+	def := DefaultFitnessWeights()
+	got, err := ParseFitnessWeights("")
+	if err != nil || got != def {
+		t.Fatalf("empty spec: %+v, %v", got, err)
+	}
+	// Overrides land on defaults: unspecified keys keep their weight.
+	got, err = ParseFitnessWeights("viol=2,fair=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := def
+	want.Violations = 2
+	want.Fairness = 0
+	if got != want {
+		t.Fatalf("partial spec: %+v, want %+v", got, want)
+	}
+	// The canonical rendering round-trips.
+	again, err := ParseFitnessWeights(got.String())
+	if err != nil || again != got {
+		t.Fatalf("round trip %q: %+v, %v", got.String(), again, err)
+	}
+	bad := []string{
+		"viol",            // not key=value
+		"viol=",           // empty value
+		"viol=x",          // not a number
+		"viol=1,viol=2",   // duplicate key
+		"speed=1",         // unknown key
+		"viol=-1",         // negative
+		"batch=NaN",       // NaN
+		"fair=+Inf",       // infinite
+		"viol=1,,batch=2", // empty part
+	}
+	for _, s := range bad {
+		if _, err := ParseFitnessWeights(s); err == nil {
+			t.Errorf("bad spec %q accepted", s)
+		}
+	}
+}
+
+func TestFitnessScoreDirections(t *testing.T) {
+	w := DefaultFitnessWeights()
+	base := Result{BatchCoreHoursGained: 10, FairnessIndex: 1}
+	s := w.Score(base)
+	// Each cost must strictly lower the score, each reward raise it.
+	worse := base
+	worse.ViolationWindows = 5
+	if w.Score(worse) >= s {
+		t.Fatal("violations did not lower fitness")
+	}
+	worse = base
+	worse.Migrations = 100
+	if w.Score(worse) >= s {
+		t.Fatal("migrations did not lower fitness")
+	}
+	better := base
+	better.BatchCoreHoursGained = 20
+	if w.Score(better) <= s {
+		t.Fatal("batch core-hours did not raise fitness")
+	}
+	worse = base
+	worse.FairnessIndex = 0.5
+	if w.Score(worse) >= s {
+		t.Fatal("fairness did not raise fitness")
+	}
+	// Sanity: default trade makes perfect fairness worth 25 violations.
+	if diff := (s - w.Score(worse)) - 25*0.5; math.Abs(diff) > 1e-12 {
+		t.Fatalf("fairness worth off: %v", diff)
+	}
+}
+
+// FuzzParseFitnessWeights mirrors FuzzParseTrace's contract on the weight
+// grammar: never panic, and any accepted spec must validate, render
+// canonically and re-parse to the identical weights (parse ∘ encode is
+// the identity on accepted inputs).
+func FuzzParseFitnessWeights(f *testing.F) {
+	f.Add("")
+	f.Add("viol=1,batch=0.5,migr=0.05,fair=25")
+	f.Add("viol=2")
+	f.Add("fair=0,migr=1e-3")
+	f.Add("batch=0.5,viol=1")
+	f.Add("viol=1,viol=2")
+	f.Add("speed=1")
+	f.Add("viol=-1")
+	f.Add("batch=NaN")
+	f.Add("migr=1e309")
+	f.Add("viol==1")
+	f.Add(",")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		w, err := ParseFitnessWeights(in)
+		if err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted weights fail validation: %v", err)
+		}
+		s := w.String()
+		if strings.Count(s, ",") != 3 {
+			t.Fatalf("canonical form %q not four keys", s)
+		}
+		again, err := ParseFitnessWeights(s)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", s, err)
+		}
+		if again != w {
+			t.Fatalf("re-parse changed the weights: %+v vs %+v", again, w)
+		}
+	})
+}

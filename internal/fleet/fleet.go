@@ -141,6 +141,19 @@ type Config struct {
 	// zero value is the static Fraction split.
 	Scheduler SchedulerConfig
 
+	// DecisionTrace records every window's scheduling decision into
+	// Result.DecisionTrace (decision.go): TraceOff (the zero value)
+	// records nothing and costs nothing, TraceSummary captures per-client
+	// deltas and driving signals, TraceFull additionally snapshots the
+	// per-core assignment.
+	DecisionTrace TraceLevel
+
+	// CounterfactualK, when positive, evaluates up to K alternative
+	// single-core-move assignments at every traced window and records the
+	// chosen assignment's regret in each DecisionRecord. Requires
+	// DecisionTrace to be on.
+	CounterfactualK int
+
 	// Autoscale lets servers join/leave the fleet between windows under a
 	// scaling policy (autoscale.go); Servers becomes the physical ceiling
 	// of a fleet that parks and unparks whole servers. The zero value
@@ -215,6 +228,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Scheduler.Validate(); err != nil {
 		return err
+	}
+	if err := c.DecisionTrace.Validate(); err != nil {
+		return err
+	}
+	if c.CounterfactualK < 0 {
+		return fmt.Errorf("fleet: negative counterfactual k")
+	}
+	if c.CounterfactualK > 0 && c.DecisionTrace == TraceOff {
+		return fmt.Errorf("fleet: counterfactual evaluation requires a decision-trace level")
 	}
 	if err := c.Autoscale.Validate(c.Servers); err != nil {
 		return err
@@ -376,10 +398,22 @@ type Result struct {
 	ParkedCoreWindows  int
 	IdleCoreWindows    int
 
+	// FairnessIndex is the Jain fairness index over per-client SLO
+	// fulfilment — each client's non-violating fraction of its serving
+	// core-windows (zero for a client squeezed to none) — 1 when every
+	// client is equally well served, approaching 1/n when one client
+	// absorbs all the violations.
+	FairnessIndex float64
+
 	// WindowTrace is the per-window fleet series: one measured observation
 	// per window, in order — the same records the closed-loop scheduler
 	// consumed online.
 	WindowTrace []WindowObservation
+
+	// DecisionTrace holds one DecisionRecord per window when
+	// Config.DecisionTrace is on (nil otherwise): the scheduler-side
+	// account of the same horizon WindowTrace measures.
+	DecisionTrace []DecisionRecord
 }
 
 // coreState is one core's persistent execution state: its controller (and
@@ -420,6 +454,19 @@ type engine struct {
 	perf    []float64
 	streams []rng.Stream
 	states  []coreState
+
+	// Counterfactual evaluator state (decision.go), wired by
+	// initCounterfactual when Config.CounterfactualK > 0: a dedicated
+	// Simulator and rng branch (the evaluator runs single-threaded behind
+	// the Step call, so worker count cannot touch it), a per-window
+	// (client, count) → tail cache, a cross-window analytic solve cache,
+	// and the per-client load scratch.
+	cfK, cfMinCores int
+	cfRng           *rng.Stream
+	cfSim           *queueing.Simulator
+	cfCache         map[cfKey]float64
+	cfAnalytic      map[analyticKey]float64
+	cfLoad          []float64
 
 	// Fluid fast-path classification inputs, resolved once per run:
 	// utilCoef[ci] turns a per-core rate into a utilization (util =
@@ -518,6 +565,15 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	st := newStepper(sched, auto)
+	var tracer decisionTracer
+	if cfg.DecisionTrace != TraceOff {
+		dt, ok := st.(decisionTracer)
+		if !ok {
+			return Result{}, fmt.Errorf("fleet: scheduler does not support decision tracing")
+		}
+		dt.SetTraceLevel(cfg.DecisionTrace)
+		tracer = dt
+	}
 	if err := st.Plan(PlanInput{
 		Servers: cfg.Servers, CoresPerServer: cfg.CoresPerServer,
 		Traffic: cfg.Traffic, Timelines: timelines,
@@ -581,6 +637,10 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	if cfg.CounterfactualK > 0 {
+		e.initCounterfactual(cfg.CounterfactualK, sched.MinCores, cfg.Seed)
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -626,10 +686,27 @@ func Run(cfg Config) (Result, error) {
 	var (
 		obs      *WindowObservation
 		winTrace = make([]WindowObservation, 0, windows)
+		decTrace []DecisionRecord
 	)
+	if tracer != nil {
+		decTrace = make([]DecisionRecord, 0, windows)
+	}
 
 	for w := 0; w < windows; w++ {
 		asg := st.Step(w, obs)
+		if tracer != nil {
+			// Capture (and counterfactually evaluate) the decision before
+			// the worker pool runs: the record and the evaluator live on
+			// the engine goroutine only, so the trace — like every other
+			// aggregate — cannot depend on the worker count.
+			rec := tracer.LastDecision()
+			if e.cfK > 0 {
+				if err := e.counterfactual(w, rec); err != nil {
+					return Result{}, err
+				}
+			}
+			decTrace = append(decTrace, *rec)
+		}
 
 		// Simulate the window: shard cores across the worker pool, then
 		// barrier before observing.
@@ -702,6 +779,7 @@ func Run(cfg Config) (Result, error) {
 		ParkedCoreWindows:   parkedCoreWindows,
 		IdleCoreWindows:     idleCoreWindows,
 		WindowTrace:         winTrace,
+		DecisionTrace:       decTrace,
 	}
 	windowHours := cfg.Traffic.WindowSec / 3600
 	// Under the exact estimator the per-client and fleet-wide tails need
@@ -777,6 +855,17 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Clients = cms
 	res.BatchGain = res.BatchCoreHoursGained / res.TotalCoreHours
+	// Jain fairness over per-client SLO fulfilment: the non-violating
+	// fraction of each client's serving core-windows, zero for a client
+	// that served none (a squeezed-out client is maximally unfairly
+	// treated, not absent).
+	fulfil := make([]float64, n)
+	for ci, cm := range cms {
+		if cm.CoreWindows > 0 {
+			fulfil[ci] = 1 - float64(cm.ViolationWindows)/float64(cm.CoreWindows)
+		}
+	}
+	res.FairnessIndex = stats.Jain(fulfil)
 	return res, nil
 }
 

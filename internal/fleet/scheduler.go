@@ -102,6 +102,14 @@ type SchedulerConfig struct {
 	// batch bonus (cold caches, state handoff). Default 0.25.
 	MigrationPenalty float64
 
+	// FeedbackGain and FeedbackDecay tune PolicyFeedback's closed loop
+	// (see feedback.go): gain scales how fast a violating client's
+	// pressure weight grows, decay shrinks a slack-rich client's weight
+	// each window. Zero means the hand-tuned defaults (1.5 and 0.92);
+	// both are ignored by the open-loop policies. These are the knobs the
+	// search driver (search.go) sweeps.
+	FeedbackGain, FeedbackDecay float64
+
 	// NoMinCores, NoHysteresis and NoMigrationPenalty make the
 	// corresponding zero value literal instead of "use the default": a
 	// plain zero struct still gets the defaults above (so existing configs
@@ -119,6 +127,11 @@ const (
 	defaultMigrationPenalty = 0.25
 )
 
+// WithDefaults returns the config with every zero field resolved to the
+// value a run would actually use — what newStepper sees, and what search
+// reports so tunings never show as zero placeholders.
+func (s SchedulerConfig) WithDefaults() SchedulerConfig { return s.withDefaults() }
+
 // withDefaults fills zero fields unless they are explicitly pinned to zero.
 func (s SchedulerConfig) withDefaults() SchedulerConfig {
 	if s.MinCores == 0 && !s.NoMinCores {
@@ -129,6 +142,12 @@ func (s SchedulerConfig) withDefaults() SchedulerConfig {
 	}
 	if s.MigrationPenalty == 0 && !s.NoMigrationPenalty {
 		s.MigrationPenalty = defaultMigrationPenalty
+	}
+	if s.FeedbackGain == 0 {
+		s.FeedbackGain = feedbackGain
+	}
+	if s.FeedbackDecay == 0 {
+		s.FeedbackDecay = feedbackDecay
 	}
 	return s
 }
@@ -144,6 +163,10 @@ func (s SchedulerConfig) Validate() error {
 		return fmt.Errorf("fleet: hysteresis %v out of [0,1)", s.Hysteresis)
 	case s.MigrationPenalty < 0 || s.MigrationPenalty >= 1:
 		return fmt.Errorf("fleet: migration penalty %v out of [0,1)", s.MigrationPenalty)
+	case s.FeedbackGain < 0:
+		return fmt.Errorf("fleet: negative feedback gain %v", s.FeedbackGain)
+	case s.FeedbackDecay < 0 || s.FeedbackDecay > 1:
+		return fmt.Errorf("fleet: feedback decay %v out of [0,1]", s.FeedbackDecay)
 	case s.NoMinCores && s.MinCores != 0:
 		return fmt.Errorf("fleet: NoMinCores contradicts MinCores=%d", s.MinCores)
 	case s.NoHysteresis && s.Hysteresis != 0:
@@ -274,6 +297,14 @@ type elastic struct {
 	// cleared every Step.
 	force bool
 
+	// Decision tracing (decision.go): prevCount holds the previous
+	// window's per-client core counts for the gained/lost deltas, dec the
+	// record built by the most recent Step. Both stay nil when trace is
+	// TraceOff, which is the entire hot-path cost of the feature.
+	trace     TraceLevel
+	prevCount []int
+	dec       *DecisionRecord
+
 	asg Assignment
 }
 
@@ -370,6 +401,9 @@ func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 	}
 	e.nActive = nActive
 
+	var desired []int
+	moves := 0
+	rebalanced := false
 	if e.alloc != nil && nActive > 0 {
 		for ci := range e.cur {
 			e.cur[ci] = 0
@@ -380,8 +414,7 @@ func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 			}
 		}
 		e.force = false
-		desired := e.alloc.desired(e, w, obs)
-		moves := 0
+		desired = e.alloc.desired(e, w, obs)
 		for ci := range desired {
 			if d := desired[ci] - e.cur[ci]; d > 0 {
 				moves += d
@@ -390,6 +423,7 @@ func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 		if drainChanged || (e.force && moves > 0) ||
 			float64(moves) > e.sched.Hysteresis*float64(nActive) {
 			rebalance(e.owner, e.active, e.cur, desired)
+			rebalanced = true
 		}
 	}
 
@@ -457,6 +491,9 @@ func (e *elastic) Step(w int, obs *WindowObservation) Assignment {
 				e.asg.Rate[c] = r
 			}
 		}
+	}
+	if e.trace != TraceOff {
+		e.record(w, obs, desired, moves, e.force, rebalanced, moves > 0 && !rebalanced)
 	}
 	return e.asg
 }

@@ -289,3 +289,19 @@ func Min(xs []float64) float64 {
 	}
 	return m
 }
+
+// Jain returns the Jain fairness index of xs: (Σx)² / (n·Σx²) — 1 when
+// every value is equal and positive, approaching 1/n when one value
+// dominates. Empty or all-zero inputs return 0: no allocation to be fair
+// about.
+func Jain(xs []float64) float64 {
+	sum, sumsq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}

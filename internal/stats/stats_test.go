@@ -208,3 +208,24 @@ func TestAggregates(t *testing.T) {
 		t.Fatal("empty aggregates should be 0")
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	if j := Jain([]float64{1, 1, 1, 1}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: %v, want 1", j)
+	}
+	// One dominant value drives the index toward 1/n.
+	if j := Jain([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("single dominant share: %v, want 0.25", j)
+	}
+	// Known hand value: (1+2+3)² / (3·(1+4+9)) = 36/42.
+	if j := Jain([]float64{1, 2, 3}); math.Abs(j-36.0/42) > 1e-12 {
+		t.Fatalf("mixed shares: %v, want %v", j, 36.0/42)
+	}
+	// Scale invariance.
+	if a, b := Jain([]float64{1, 2, 3}), Jain([]float64{10, 20, 30}); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("not scale invariant: %v vs %v", a, b)
+	}
+	if Jain(nil) != 0 || Jain([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}

@@ -48,6 +48,14 @@
 //     TraceFile.Traffic, bit-identical to simulating the generative spec
 //     at the same seed.
 //
+// For policy introspection and tuning, a fleet run can record every
+// scheduling decision (DecisionTraceLevel, FleetResult.DecisionTrace)
+// with per-client allocation deltas and the signals that drove them,
+// evaluate alternative assignments per window to measure the chosen
+// assignment's regret (DecisionCounterfactual), and rank scheduler
+// candidates over a trace suite by weighted multi-objective fitness
+// (FitnessWeights, SearchSchedulers, SearchGrid).
+//
 // Quick start:
 //
 //	col, _ := stretch.NewColocation(stretch.WebSearch, "zeusmp")
@@ -543,6 +551,75 @@ type CapacityPoint = fleet.CapacityPoint
 // (TraceFile.Traffic) so the offered load is independent of the fleet
 // size — then the answer is also seed- and worker-count-independent.
 func PlanCapacity(spec CapacitySpec) (CapacityPlan, error) { return fleet.PlanCapacity(spec) }
+
+// --- Decision tracing, counterfactuals and policy search ---
+
+// DecisionTraceLevel selects how much of each window's scheduling
+// decision a fleet run records into FleetResult.DecisionTrace: off
+// (nothing, zero cost — the default), summary (per-client deltas and
+// driving signals), or full (plus the per-core assignment snapshot).
+type DecisionTraceLevel = fleet.TraceLevel
+
+// Decision-trace levels.
+const (
+	DecisionTraceOff     = fleet.TraceOff
+	DecisionTraceSummary = fleet.TraceSummary
+	DecisionTraceFull    = fleet.TraceFull
+)
+
+// ParseDecisionTraceLevel resolves a trace-level name (off|summary|full).
+func ParseDecisionTraceLevel(s string) (DecisionTraceLevel, error) { return fleet.ParseTraceLevel(s) }
+
+// DecisionRecord is one window's complete scheduling decision: per-client
+// allocation deltas with the signals that drove them, rebalance and
+// hysteresis-suppression flags, migrations charged, the optional
+// counterfactual evaluation, and (at full level) the per-core assignment.
+type DecisionRecord = fleet.DecisionRecord
+
+// ClientDecision is one client's slice of a window's decision.
+type ClientDecision = fleet.ClientDecision
+
+// DecisionAssignment is the full-level per-core assignment snapshot.
+type DecisionAssignment = fleet.AssignmentRecord
+
+// DecisionCounterfactual records a traced window's alternative-assignment
+// evaluation: the chosen assignment's cost, the best cost over the chosen
+// and all evaluated single-core-move alternatives, and the regret of the
+// chosen assignment (≥ 0 by construction).
+type DecisionCounterfactual = fleet.Counterfactual
+
+// DecisionAlternative is one evaluated alternative assignment.
+type DecisionAlternative = fleet.CounterfactualAlt
+
+// FitnessWeights weighs the four fleet objectives — violation
+// core-windows, batch core-hours gained, migration core-windows and Jain
+// fairness — into the scalar fitness the policy search ranks by.
+type FitnessWeights = fleet.FitnessWeights
+
+// DefaultFitnessWeights is the hand-picked objective trade.
+func DefaultFitnessWeights() FitnessWeights { return fleet.DefaultFitnessWeights() }
+
+// ParseFitnessWeights resolves a weight spec like "viol=1,batch=0.5";
+// unspecified keys keep their defaults.
+func ParseFitnessWeights(s string) (FitnessWeights, error) { return fleet.ParseFitnessWeights(s) }
+
+// SearchOutcome is one candidate scheduler's evaluation over a suite.
+type SearchOutcome = fleet.SearchOutcome
+
+// SearchGrid is the default scheduler-candidate grid: every policy at its
+// defaults plus a sweep of the feedback gains; the hand-tuned feedback
+// configuration is always a member.
+func SearchGrid() []Scheduler { return fleet.SearchGrid() }
+
+// SearchSchedulers evaluates every candidate over every suite config and
+// returns the outcomes ranked by fitness, best first.
+func SearchSchedulers(suite []FleetConfig, cands []Scheduler, w FitnessWeights) ([]SearchOutcome, error) {
+	return fleet.SearchSchedulers(suite, cands, w)
+}
+
+// JainFairness is the Jain fairness index of xs: (Σx)²/(n·Σx²) — 1 when
+// all equal and positive, approaching 1/n when one value dominates.
+func JainFairness(xs []float64) float64 { return stats.Jain(xs) }
 
 // --- Trace layer: recorded-traffic ingestion, synthesis and replay ---
 
