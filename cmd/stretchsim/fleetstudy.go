@@ -36,6 +36,7 @@ type fleetParams struct {
 	bSpeedup        float64
 	lsSlowdown      float64
 	windowTrace     bool
+	cohortStats     bool
 	traceLevel      string
 	counterfactualK int
 }
@@ -365,6 +366,16 @@ func formatFleetResult(p fleetParams, cfg fleet.Config, res fleet.Result) string
 		}
 		fmt.Fprintf(&b, "engine %s: %d of %d serving core-windows answered analytically (%.1f%%)\n",
 			res.Engine, res.AnalyticCoreWindows, serving, pct)
+		// The cohort line is opt-in (-cohort-stats), so every pre-cohort
+		// golden file keeps reproducing byte-identically.
+		if p.cohortStats {
+			cpct := 0.0
+			if serving > 0 {
+				cpct = 100 * float64(res.CohortCoreWindows) / float64(serving)
+			}
+			fmt.Fprintf(&b, "cohort fast path: %d of %d serving core-windows coalesced (%.1f%% hit rate), %d distinct analytic solves\n",
+				res.CohortCoreWindows, serving, cpct, res.AnalyticSolves)
+		}
 	}
 	// The calibration block only appears on calibrated runs, so
 	// uniform-scalar golden files keep reproducing byte-identically.
@@ -481,15 +492,15 @@ func formatDecisionTrace(res fleet.Result) string {
 func formatWindowTrace(res fleet.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "\nwindow trace (%d windows):\n", len(res.WindowTrace))
-	fmt.Fprintf(&b, "%-4s %5s %5s %5s %5s %5s %5s %5s", "win", "serve", "drain", "park", "idle", "B", "viol", "migr")
+	fmt.Fprintf(&b, "%-4s %5s %5s %5s %5s %5s %5s %5s %6s", "win", "serve", "drain", "park", "idle", "B", "viol", "migr", "cohort")
 	for _, cm := range res.Clients {
 		fmt.Fprintf(&b, " | %-20s", cm.Client+" c/p99/viol")
 	}
 	b.WriteString("\n")
 	for _, o := range res.WindowTrace {
-		fmt.Fprintf(&b, "%-4d %5d %5d %5d %5d %5d %5d %5d",
+		fmt.Fprintf(&b, "%-4d %5d %5d %5d %5d %5d %5d %5d %6d",
 			o.Window, o.ServingCores, o.DrainedCores, o.ParkedCores, o.IdleCores,
-			o.BCores, o.Violations, o.Migrations)
+			o.BCores, o.Violations, o.Migrations, o.CohortCores)
 		for _, co := range o.Clients {
 			fmt.Fprintf(&b, " | %4d %10.1f %4d", co.Cores, co.TailP99Ms, co.Violations)
 		}

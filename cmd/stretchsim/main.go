@@ -88,6 +88,7 @@ func main() {
 		bSpeedup   = flag.Float64("b-speedup", 0.13, "fleet: measured B-mode batch speedup")
 		lsSlowdown = flag.Float64("ls-slowdown", 0.07, "fleet: measured B-mode LS slowdown")
 		winTrace   = flag.Bool("window-trace", false, "fleet: print the per-window fleet series (cores, tails, violations per client)")
+		cohStats   = flag.Bool("cohort-stats", false, "fleet: add the cohort fast-path line (coalesced core-windows, hit rate, distinct analytic solves) to the report")
 		traceLevel = flag.String("trace-level", "off", "fleet: decision-trace level (off|summary|full) — records every scheduling decision and prints the decision-trace report")
 		cfK        = flag.Int("counterfactual-k", 0, "fleet: evaluate up to K alternative assignments per traced window and report the chosen assignment's regret (needs -trace-level)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -131,8 +132,8 @@ func main() {
 			hours: *hours, wph: *wph, windowReq: *windowReq,
 			seed: *seed, workers: *fleetWork,
 			bSpeedup: *bSpeedup, lsSlowdown: *lsSlowdown,
-			windowTrace: *winTrace,
-			traceLevel:  *traceLevel, counterfactualK: *cfK,
+			windowTrace: *winTrace, cohortStats: *cohStats,
+			traceLevel: *traceLevel, counterfactualK: *cfK,
 		})
 		return
 	}

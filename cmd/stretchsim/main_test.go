@@ -43,33 +43,38 @@ func TestFleetGolden(t *testing.T) {
 		calib         string
 		autoscale     string
 		engine        string
+		cohortStats   bool
 	}{
-		{"websearch", "static", 0, "", "", "", ""},
-		{"video", "static", 0, "", "", "", ""},
-		{"mixed", "static", 0, "", "", "", ""},
-		{"mixed", "proportional", 0, "", "", "", ""},
-		{"mixed", "p2c", 0, "", "", "", ""},
-		{"failover", "proportional", 0, "", "", "", ""},
-		{"mixed", "feedback", 0, "", "", "", ""},
-		{"failover", "feedback", 24, "", "", "", ""},
-		{"mixed", "static", 0, "histogram", "", "", ""},
-		{"mixed", "feedback", 0, "histogram", "", "", ""},
-		{"failover", "feedback", 24, "histogram", "", "", ""},
+		{"websearch", "static", 0, "", "", "", "", false},
+		{"video", "static", 0, "", "", "", "", false},
+		{"mixed", "static", 0, "", "", "", "", false},
+		{"mixed", "proportional", 0, "", "", "", "", false},
+		{"mixed", "p2c", 0, "", "", "", "", false},
+		{"failover", "proportional", 0, "", "", "", "", false},
+		{"mixed", "feedback", 0, "", "", "", "", false},
+		{"failover", "feedback", 24, "", "", "", "", false},
+		{"mixed", "static", 0, "histogram", "", "", "", false},
+		{"mixed", "feedback", 0, "histogram", "", "", "", false},
+		{"failover", "feedback", 24, "histogram", "", "", "", false},
 		// Calibrated runs consume the committed default table: per-client
 		// (service, batch) deltas from the cycle-level model, locked with
 		// the per-client calibrated batch-speedup block in the report.
-		{"mixed", "static", 0, "", "default", "", ""},
-		{"failover", "feedback", 24, "histogram", "default", "", ""},
+		{"mixed", "static", 0, "", "default", "", "", false},
+		{"failover", "feedback", 24, "histogram", "default", "", "", false},
 		// The autoscaled day: the util policy parks off-peak capacity and
 		// pays warm-up migrations on the way back up, locked end to end —
 		// policy echo, parked core-windows in the schedule line and all.
-		{"mixed", "feedback", 24, "histogram", "", "util", ""},
+		{"mixed", "feedback", 24, "histogram", "", "util", "", false},
 		// Auto-engine runs lock the fluid fast path's classifier output:
 		// the engine line reports how many serving core-windows were
 		// answered analytically, and the fleet numbers must hold steady
 		// against the discrete goldens above.
-		{"mixed", "feedback", 24, "histogram", "", "", "auto"},
-		{"failover", "feedback", 24, "histogram", "", "", "auto"},
+		{"mixed", "feedback", 24, "histogram", "", "", "auto", false},
+		{"failover", "feedback", 24, "histogram", "", "", "auto", false},
+		// The cohort-stats line (opt-in via -cohort-stats) locks the
+		// coalesced fast path's observability: coalesced core-windows,
+		// hit rate and distinct analytic solves.
+		{"mixed", "feedback", 24, "histogram", "", "", "auto", true},
 	}
 	for _, tc := range cases {
 		name := tc.trace + "_" + tc.policy
@@ -85,6 +90,9 @@ func TestFleetGolden(t *testing.T) {
 		if tc.engine != "" {
 			name += "_" + tc.engine
 		}
+		if tc.cohortStats {
+			name += "_cohort"
+		}
 		t.Run(name, func(t *testing.T) {
 			p := goldenParams(tc.trace, tc.policy)
 			if tc.hours != 0 {
@@ -96,6 +104,7 @@ func TestFleetGolden(t *testing.T) {
 			p.calib = tc.calib
 			p.autoscale = tc.autoscale
 			p.engine = tc.engine
+			p.cohortStats = tc.cohortStats
 			cfg, err := buildFleetConfig(&p)
 			if err != nil {
 				t.Fatal(err)

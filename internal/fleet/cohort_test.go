@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"stretch/internal/loadgen"
+	"stretch/internal/stats"
+	"stretch/internal/workload"
+)
+
+// equivConfig is the equivalence suite's base fleet: two clients on
+// different services (different targets and calibration-free deltas), a
+// diurnal shape so the auto classifier mixes analytic and discrete
+// windows, and a drain/restore plus a surge so cores transit sentinel
+// states and unsteady windows mid-horizon — the transitions that fork and
+// re-merge controller-equivalence classes.
+func equivConfig() Config {
+	return Config{
+		Servers: 3, CoresPerServer: 4,
+		Traffic: loadgen.Traffic{
+			Windows: 10, WindowSec: 300,
+			Clients: []loadgen.Client{
+				{
+					Name: "search", Service: workload.WebSearch, Fraction: 0.5, SLO: loadgen.SLOStrict,
+					Spec: loadgen.Spec{Shape: loadgen.Diurnal{
+						HourLoad: loadgen.WebSearchDay(), PeakRPS: 600 * 6, WindowsPerDay: 10,
+					}, Poisson: true},
+				},
+				{
+					Name: "kv", Service: workload.DataServing, Fraction: 0.5,
+					Spec: loadgen.Spec{Shape: loadgen.Constant{Rate: 1000 * 6}, Poisson: true},
+				},
+			},
+		},
+		Scenario: loadgen.Scenario{Events: []loadgen.Event{
+			{Kind: loadgen.EventDrain, Window: 3, Server: 1},
+			{Kind: loadgen.EventRestore, Window: 6, Server: 1},
+			{Kind: loadgen.EventSurge, Window: 5, Until: 7, Client: "kv", Factor: 1.4},
+		}},
+		BatchSpeedupB: 0.13, LSSlowdownB: 0.07,
+		WindowRequests: 150, Seed: 7,
+	}
+}
+
+// TestCohortEquivalence is the cohort path's contract: for every policy ×
+// engine × estimator, the coalesced run must DeepEqual the reference
+// per-core run — full Results, every float bit — at every worker count.
+// The -race CI job runs this, putting the shared solve cache, the
+// persistent pool and the phase-two class advances under the detector.
+func TestCohortEquivalence(t *testing.T) {
+	policies := []Policy{PolicyStatic, PolicyProportional, PolicyP2C, PolicyFeedback}
+	engines := []Engine{EngineAuto, EngineFluid}
+	estimators := []stats.TailEstimator{stats.EstimatorHistogram, stats.EstimatorExact}
+	for _, pol := range policies {
+		for _, eng := range engines {
+			for _, est := range estimators {
+				t.Run(fmt.Sprintf("%v/%v/%v", pol, eng, est), func(t *testing.T) {
+					cfg := equivConfig()
+					cfg.Scheduler = SchedulerConfig{Policy: pol}
+					cfg.Engine = eng
+					cfg.TailEstimator = est
+					cfg.Workers = 1
+					cfg.noCoalesce = true
+					ref, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ref.CohortCoreWindows == 0 {
+						t.Fatal("no coalescible core-windows; the equivalence check is vacuous")
+					}
+					for _, workers := range []int{1, 5, 16} {
+						ccfg := cfg
+						ccfg.Workers = workers
+						ccfg.noCoalesce = false
+						got, err := Run(ccfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(ref, got) {
+							t.Fatalf("coalesced run (%d workers) diverged from per-core reference", workers)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCohortEquivalenceAutoscale drives park/unpark transitions (plus a
+// scenario drain) under the util autoscaler: parked cores leave their
+// equivalence classes and return as cold starts, the class-split path the
+// plain suite cannot reach. Both estimators, both engines, three worker
+// counts.
+func TestCohortEquivalenceAutoscale(t *testing.T) {
+	for _, eng := range []Engine{EngineAuto, EngineFluid} {
+		for _, est := range []stats.TailEstimator{stats.EstimatorHistogram, stats.EstimatorExact} {
+			t.Run(fmt.Sprintf("%v/%v", eng, est), func(t *testing.T) {
+				cfg := equivConfig()
+				cfg.Scheduler = SchedulerConfig{Policy: PolicyProportional, NoMinCores: true}
+				cfg.Engine = eng
+				cfg.TailEstimator = est
+				cfg.Autoscale = AutoscaleConfig{
+					Policy: AutoscaleUtil, MinServers: 1,
+					Custom: windowScale(func(w int) int {
+						switch {
+						case w >= 2 && w < 5: // park two servers mid-horizon
+							return 1
+						default:
+							return 3
+						}
+					}),
+				}
+				cfg.Workers = 1
+				cfg.noCoalesce = true
+				ref, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.ParkedCoreWindows == 0 {
+					t.Fatal("autoscaler parked nothing; the split scenario is vacuous")
+				}
+				for _, workers := range []int{1, 5, 16} {
+					ccfg := cfg
+					ccfg.Workers = workers
+					ccfg.noCoalesce = false
+					got, err := Run(ccfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(ref, got) {
+						t.Fatalf("coalesced autoscale run (%d workers) diverged from reference", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCohortDiscreteEngineUnaffected: the discrete engine has no steady
+// spans to coalesce and must keep running the reference path — reporting
+// no cohort or analytic core-windows — whatever the flag says.
+func TestCohortDiscreteEngineUnaffected(t *testing.T) {
+	cfg := equivConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CohortCoreWindows != 0 || res.AnalyticCoreWindows != 0 || res.AnalyticSolves != 0 {
+		t.Fatalf("discrete engine reported cohort=%d analytic=%d solves=%d",
+			res.CohortCoreWindows, res.AnalyticCoreWindows, res.AnalyticSolves)
+	}
+}
+
+// TestCohortSolveCounter: AnalyticSolves counts distinct solved keys —
+// strictly positive whenever analytic windows were answered, no larger
+// than the analytic core-window count, and identical across paths (the
+// DeepEqual suites above already pin the latter; this pins the bounds).
+func TestCohortSolveCounter(t *testing.T) {
+	cfg := equivConfig()
+	cfg.Engine = EngineAuto
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalyticCoreWindows == 0 {
+		t.Fatal("auto run answered nothing analytically")
+	}
+	if res.AnalyticSolves <= 0 || res.AnalyticSolves > res.AnalyticCoreWindows {
+		t.Fatalf("AnalyticSolves = %d with %d analytic core-windows",
+			res.AnalyticSolves, res.AnalyticCoreWindows)
+	}
+	if res.CohortCoreWindows < res.AnalyticCoreWindows {
+		t.Fatalf("CohortCoreWindows %d < AnalyticCoreWindows %d (zero-rate windows only add)",
+			res.CohortCoreWindows, res.AnalyticCoreWindows)
+	}
+}

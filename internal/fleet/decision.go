@@ -410,7 +410,7 @@ func (e *engine) cfTail(w, ci, cnt int, rate float64) (float64, error) {
 	}
 	if e.engineSel != EngineDiscrete && e.fluidOK[ci] &&
 		rate*e.utilCoef[ci] <= autoSteadyMaxUtil {
-		if t, ok := e.analyticTail(int16(ci), rate, 1, e.cfAnalytic); ok {
+		if t, ok := e.analyticTail(int16(ci), rate, 1); ok {
 			e.cfCache[k] = t
 			return t, nil
 		}
@@ -434,6 +434,5 @@ func (e *engine) initCounterfactual(k, minCores int, seed uint64) {
 	e.cfRng = rng.New(seed).Derive(cfLabel)
 	e.cfSim = new(queueing.Simulator)
 	e.cfCache = make(map[cfKey]float64)
-	e.cfAnalytic = make(map[analyticKey]float64)
 	e.cfLoad = make([]float64, len(e.targets))
 }

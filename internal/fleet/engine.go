@@ -80,41 +80,37 @@ func ParseEngine(s string) (Engine, error) {
 // queueing.TestAnalyticMatchesDiscrete) is validated through 0.85.
 const autoSteadyMaxUtil = 0.85
 
-// analyticCacheLimit bounds each worker's solve cache; a fleet day offers
-// only as many distinct (client, rate, perf) triples as the traffic has
-// rate plateaus, so the limit exists purely as a safety valve against
-// pathological per-core rate diversity (e.g. p2c routing).
+// analyticCacheLimit bounds the run's shared solve cache; a fleet day
+// offers only as many distinct (client, rate, perf) triples as the traffic
+// has rate plateaus, so the limit exists purely as a safety valve against
+// pathological per-core rate diversity (e.g. p2c routing). Eviction is
+// per-stripe and generational (queueing.TailCache), not a wholesale clear:
+// hot plateau entries that keep being hit survive any churn of cold keys.
 const analyticCacheLimit = 1 << 16
 
-// analyticKey identifies one solved steady state. Rates and perf factors
-// are keyed by their exact bit patterns: the solver is a pure function, so
-// equal bits give equal results on every worker — which is what keeps auto
-// runs bit-identical across worker counts.
-type analyticKey struct {
-	ci         int16
-	rate, perf uint64
-}
-
-// analyticTail answers one steady core-window from the per-worker solve
-// cache, solving on a miss. The sampleEquiv passed to the solver makes the
-// analytic quantile reproduce the discrete window's finite-sample rank
-// convention rather than improve on it. A solver refusal (utilization
-// raced past the ceiling between classification and solve, structural
-// caps) is cached as NaN and reported as !ok: the caller falls back to the
-// discrete path.
-func (e *engine) analyticTail(ci int16, rate, perf float64, cache map[analyticKey]float64) (float64, bool) {
-	k := analyticKey{ci: ci, rate: math.Float64bits(rate), perf: math.Float64bits(perf)}
-	if v, hit := cache[k]; hit {
+// analyticTail answers one steady core-window from the run's shared solve
+// cache, solving on a miss. Keys carry the exact bit patterns of rate and
+// perf, and the solver is a pure function: equal bits give equal results
+// on every worker — which is what keeps auto runs bit-identical across
+// worker counts even though the cache is shared. The sampleEquiv passed to
+// the solver makes the analytic quantile reproduce the discrete window's
+// finite-sample rank convention rather than improve on it. A solver
+// refusal (utilization raced past the ceiling between classification and
+// solve, structural caps) is cached as NaN and reported as !ok: the caller
+// falls back to the discrete path. First insertions of successful solves
+// feed Result.AnalyticSolves.
+func (e *engine) analyticTail(ci int16, rate, perf float64) (float64, bool) {
+	k := queueing.TailKey{Service: int32(ci), Rate: math.Float64bits(rate), Perf: math.Float64bits(perf)}
+	if v, hit := e.solveCache.Lookup(k); hit {
 		return v, !math.IsNaN(v)
-	}
-	if len(cache) >= analyticCacheLimit {
-		clear(cache)
 	}
 	t, err := queueing.AnalyticTail(e.qcfgs[ci], rate, perf, e.windowReq)
 	if err != nil {
-		cache[k] = math.NaN()
+		e.solveCache.Insert(k, math.NaN())
 		return 0, false
 	}
-	cache[k] = t
+	if e.solveCache.Insert(k, t) {
+		e.solves.Add(1)
+	}
 	return t, true
 }

@@ -58,9 +58,9 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"stretch/internal/calib"
@@ -165,6 +165,14 @@ type Config struct {
 	// surges, per-server performance generations. The zero value is an
 	// uneventful run.
 	Scenario loadgen.Scenario
+
+	// noCoalesce forces the reference per-core execution path under the
+	// fluid/auto engines, where the cohort-coalesced path (cohort.go) is
+	// otherwise the default. Unexported: the equivalence suite sets it
+	// directly, external callers reach it through the STRETCH_NO_COALESCE
+	// environment variable. The two paths produce DeepEqual Results by
+	// contract; the discrete engine always runs the reference path.
+	noCoalesce bool
 }
 
 // Validate rejects unusable configurations.
@@ -339,6 +347,13 @@ type WindowObservation struct {
 	// AnalyticCores counts cores whose window was answered by the
 	// analytic fast path (always zero under the discrete engine).
 	AnalyticCores int
+	// CohortCores counts cores whose window the cohort-coalesced path
+	// answers without per-core work — analytically solved or zero-rate
+	// windows. Computed from the same shared classification state on both
+	// execution paths (so a reference-path run reports what the coalesced
+	// run would coalesce, keeping the paths DeepEqual); always zero under
+	// the discrete engine.
+	CohortCores int
 }
 
 // Result is the fleet-wide aggregation.
@@ -359,6 +374,18 @@ type Result struct {
 	// otherwise, which is what the speedup is proportional to).
 	Engine              Engine
 	AnalyticCoreWindows int
+	// AnalyticSolves counts distinct successful analytic solves — first
+	// insertions into the shared solve cache. The gap between
+	// AnalyticCoreWindows and AnalyticSolves is the work the solve cache
+	// (and, per window, the cohort coalescing) absorbed. Deterministic
+	// across worker counts and execution paths as long as the cache is not
+	// thrashing (re-solving an evicted key recounts it).
+	AnalyticSolves int
+	// CohortCoreWindows sums WindowObservation.CohortCores over the
+	// horizon: core-windows the cohort-coalesced path answers without
+	// per-core simulation (zero under the discrete engine; see
+	// WindowObservation.CohortCores for the both-paths contract).
+	CohortCoreWindows int
 	// CalibrationHash is the content hash of the calibration table the run
 	// used; empty means the uniform-scalar fallback.
 	CalibrationHash string
@@ -453,19 +480,47 @@ type engine struct {
 	qcfgs   []queueing.Config
 	perf    []float64
 	streams []rng.Stream
-	states  []coreState
+	// states carries the reference path's per-core controllers; nil under
+	// the cohort-coalesced path, which tracks controllers in equivalence
+	// classes instead (classOf/classes below).
+	states []coreState
+
+	// solveCache is the lock-striped analytic solve cache shared by every
+	// worker and the counterfactual evaluator (the solver is pure, so
+	// sharing cannot perturb results — it stops W workers re-solving the
+	// same rate plateau W times); solves counts its distinct successful
+	// first insertions, surfaced as Result.AnalyticSolves.
+	solveCache *queueing.TailCache
+	solves     atomic.Int64
+
+	// Cohort-coalesced execution state (cohort.go); allocated only when
+	// coalesce is set. classOf maps each core to its controller-
+	// equivalence class in classes (−1: none), swBase banks switch counts
+	// a core accrued in classes it has left, and freshFor/mergeMap/
+	// worklist/retired are per-window scratch for the span walk. Under the
+	// histogram estimator cohortShard collects the coalesced AddN deposits
+	// for the barrier merge.
+	coalesce    bool
+	classOf     []int32
+	classes     []cohortClass
+	freeClass   []int32
+	retired     []int32
+	swBase      []uint64
+	mergeMap    map[mergeKey]int32
+	freshFor    []int32
+	worklist    []workItem
+	cohortShard []*stats.Histogram
 
 	// Counterfactual evaluator state (decision.go), wired by
 	// initCounterfactual when Config.CounterfactualK > 0: a dedicated
 	// Simulator and rng branch (the evaluator runs single-threaded behind
 	// the Step call, so worker count cannot touch it), a per-window
-	// (client, count) → tail cache, a cross-window analytic solve cache,
-	// and the per-client load scratch.
+	// (client, count) → tail cache, and the per-client load scratch; its
+	// analytic solves share solveCache.
 	cfK, cfMinCores int
 	cfRng           *rng.Stream
 	cfSim           *queueing.Simulator
 	cfCache         map[cfKey]float64
-	cfAnalytic      map[analyticKey]float64
 	cfLoad          []float64
 
 	// Fluid fast-path classification inputs, resolved once per run:
@@ -597,19 +652,32 @@ func Run(cfg Config) (Result, error) {
 		qcfgs:        qcfgs,
 		perf:         make([]float64, nCores),
 		streams:      make([]rng.Stream, nCores),
-		states:       make([]coreState, nCores),
 		tails:        make([]float64, nCores*windows),
 		batchRel:     make([]float64, nCores*windows),
 		modeB:        make([]bool, nCores*windows),
 		client:       make([]int16, nCores*windows),
 		errs:         make([]error, nCores),
 	}
+	// The cohort-coalesced path is the default under the fluid/auto
+	// engines; the discrete engine always runs the reference per-core
+	// path (it has no steady spans to coalesce), as does any run opting
+	// out for an equivalence check.
+	e.coalesce = cfg.Engine != EngineDiscrete && !cfg.noCoalesce &&
+		os.Getenv("STRETCH_NO_COALESCE") == ""
+	if e.coalesce {
+		e.initCohorts(n)
+	} else {
+		e.states = make([]coreState, nCores)
+	}
 	for c := 0; c < nCores; c++ {
 		e.perf[c] = perfGen[c/cfg.CoresPerServer]
 		e.streams[c] = *root.Derive(uint64(c))
-		e.states[c] = coreState{prev: -4, lastMode: -1} // matches no client and no sentinel
+		if e.states != nil {
+			e.states[c] = coreState{prev: -4, lastMode: -1} // matches no client and no sentinel
+		}
 	}
 	if cfg.Engine != EngineDiscrete {
+		e.solveCache = queueing.NewTailCache(analyticCacheLimit)
 		// Resolve the classification inputs: per-client utilization
 		// coefficients, structural solver feasibility (probed once at a
 		// comfortably steady utilization — the refusals that matter here
@@ -649,19 +717,19 @@ func Run(cfg Config) (Result, error) {
 		workers = nCores
 	}
 	// One reusable Simulator per worker: the queueing heaps and sample
-	// buffers live across the whole horizon. Under the fluid/auto engines
-	// each worker also carries its own analytic solve cache — the solver
-	// is pure, so per-worker caching cannot perturb results, only skip
-	// recomputing identical steady states.
+	// buffers live across the whole horizon. Analytic solves under the
+	// fluid/auto engines go through the shared striped cache wired above.
 	sims := make([]*queueing.Simulator, workers)
-	caches := make([]map[analyticKey]float64, workers)
 	for i := range sims {
 		sims[i] = new(queueing.Simulator)
-		if cfg.Engine != EngineDiscrete {
-			caches[i] = make(map[analyticKey]float64)
-		}
 	}
 	if est == stats.EstimatorHistogram {
+		if e.coalesce {
+			e.cohortShard = make([]*stats.Histogram, n)
+			for ci := range e.cohortShard {
+				e.cohortShard[ci] = stats.NewTailHistogram()
+			}
+		}
 		e.shards = make([][]*stats.Histogram, workers)
 		for wk := range e.shards {
 			e.shards[wk] = make([]*stats.Histogram, n)
@@ -692,6 +760,11 @@ func Run(cfg Config) (Result, error) {
 		decTrace = make([]DecisionRecord, 0, windows)
 	}
 
+	// One persistent pool for the whole horizon — the former per-window
+	// spawn loop burned workers × windows goroutine creations per run.
+	pool := newWorkerPool(workers)
+	defer pool.close()
+
 	for w := 0; w < windows; w++ {
 		asg := st.Step(w, obs)
 		if tracer != nil {
@@ -708,28 +781,45 @@ func Run(cfg Config) (Result, error) {
 			decTrace = append(decTrace, *rec)
 		}
 
-		// Simulate the window: shard cores across the worker pool, then
-		// barrier before observing.
-		var next int64 = -1
-		var wg sync.WaitGroup
-		for wk := 0; wk < workers; wk++ {
-			var shard []*stats.Histogram
-			if e.shards != nil {
-				shard = e.shards[wk]
-			}
-			wg.Add(1)
-			go func(sim *queueing.Simulator, shard []*stats.Histogram, cache map[analyticKey]float64) {
-				defer wg.Done()
+		// Simulate the window, then barrier before observing. The
+		// coalesced path answers steady cohorts serially in the span walk
+		// and hands only the discrete residue to the pool; the reference
+		// path shards every core across the pool. Both claim work in
+		// blocks of claimChunk instead of one atomic per unit.
+		work := nCores
+		if e.coalesce {
+			e.coalesceWindow(w, asg)
+			work = len(e.worklist)
+		}
+		if work > 0 {
+			var next atomic.Int64
+			pool.run(workers, func(wk int) {
+				sim := sims[wk]
+				var shard []*stats.Histogram
+				if e.shards != nil {
+					shard = e.shards[wk]
+				}
 				for {
-					c := int(atomic.AddInt64(&next, 1))
-					if c >= nCores {
+					lo := int(next.Add(claimChunk)) - claimChunk
+					if lo >= work {
 						return
 					}
-					e.stepCore(c, w, asg, sim, shard, cache)
+					hi := lo + claimChunk
+					if hi > work {
+						hi = work
+					}
+					if e.coalesce {
+						for _, it := range e.worklist[lo:hi] {
+							e.runWorkItem(it, w, sim, shard)
+						}
+					} else {
+						for c := lo; c < hi; c++ {
+							e.stepCore(c, w, asg, sim, shard)
+						}
+					}
 				}
-			}(sims[wk], shard, caches[wk])
+			})
 		}
-		wg.Wait()
 		for c := 0; c < nCores; c++ {
 			if e.errs[c] != nil {
 				return Result{}, e.errs[c]
@@ -743,13 +833,14 @@ func Run(cfg Config) (Result, error) {
 
 	// Schedule bookkeeping falls out of the per-window observations.
 	migrations, drainedCoreWindows, parkedCoreWindows, idleCoreWindows := 0, 0, 0, 0
-	analyticCoreWindows := 0
+	analyticCoreWindows, cohortCoreWindows := 0, 0
 	for _, o := range winTrace {
 		migrations += o.Migrations
 		drainedCoreWindows += o.DrainedCores
 		parkedCoreWindows += o.ParkedCores
 		idleCoreWindows += o.IdleCores
 		analyticCoreWindows += o.AnalyticCores
+		cohortCoreWindows += o.CohortCores
 	}
 	initialCores := make([]int, n)
 	if len(winTrace) > 0 {
@@ -772,6 +863,8 @@ func Run(cfg Config) (Result, error) {
 		TailEstimator:       est,
 		Engine:              cfg.Engine,
 		AnalyticCoreWindows: analyticCoreWindows,
+		AnalyticSolves:      int(e.solves.Load()),
+		CohortCoreWindows:   cohortCoreWindows,
 		CalibrationHash:     calibHash,
 		TotalCoreHours:      float64(nCores) * cfg.Traffic.Hours(),
 		Migrations:          migrations,
@@ -827,9 +920,19 @@ func Run(cfg Config) (Result, error) {
 			cm.BatchCoreHoursGained += (e.batchRel[idx] - 1) * windowHours
 			res.BatchCoreHoursGained += (e.batchRel[idx] - 1) * windowHours
 		}
-		sw := e.states[c].switches
-		if st := &e.states[c]; st.hasCtl {
-			sw += st.ctl.Switches()
+		var sw uint64
+		if e.states != nil {
+			sw = e.states[c].switches
+			if st := &e.states[c]; st.hasCtl {
+				sw += st.ctl.Switches()
+			}
+		} else {
+			// Coalesced accounting: switches banked when the core left
+			// past classes, plus its current class's live count.
+			sw = e.swBase[c]
+			if k := e.classOf[c]; k >= 0 {
+				sw += e.classes[k].ctl.Switches()
+			}
 		}
 		res.Switches += sw
 	}
@@ -876,7 +979,7 @@ func Run(cfg Config) (Result, error) {
 // feed the measured tail to the core's persistent controller, credit the
 // batch thread, and — under the histogram estimator — record the tail into
 // the worker's per-client shard for the barrier merge.
-func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, shard []*stats.Histogram, cache map[analyticKey]float64) {
+func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, shard []*stats.Histogram) {
 	idx := c*e.windows + w
 	ci := asg.Client[c]
 	e.client[idx] = ci
@@ -933,7 +1036,7 @@ func (e *engine) stepCore(c, w int, asg Assignment, sim *queueing.Simulator, sha
 					!asg.Migrated[c] && !e.unsteady[ci][w]
 			}
 			if steady {
-				if t, ok := e.analyticTail(ci, rate, perf, cache); ok {
+				if t, ok := e.analyticTail(ci, rate, perf); ok {
 					tail = t
 					e.analytic[idx] = true
 					solved = true
@@ -1014,12 +1117,22 @@ func (e *engine) observe(w int, asg Assignment) WindowObservation {
 				o.BCores++
 			}
 			co.BatchRel += e.batchRel[idx]
-			co.MeanSlack += e.states[c].ctl.Slack()
+			// A coalesced class's members share their controller's exact
+			// observation history, so the class Slack IS each member's
+			// Slack — the sum is bit-identical to the per-core path's.
+			if e.states != nil {
+				co.MeanSlack += e.states[c].ctl.Slack()
+			} else {
+				co.MeanSlack += e.classes[e.classOf[c]].ctl.Slack()
+			}
 			if asg.Migrated[c] {
 				o.Migrations++
 			}
 			if e.analytic != nil && e.analytic[idx] {
 				o.AnalyticCores++
+			}
+			if e.engineSel != EngineDiscrete && (e.analytic[idx] || asg.Rate[c] == 0) {
+				o.CohortCores++
 			}
 			if e.winSamples != nil {
 				e.winSamples[cl].Add(t)
@@ -1033,6 +1146,15 @@ func (e *engine) observe(w int, asg Assignment) WindowObservation {
 		// cleared shards back to the next window.
 		for _, shard := range e.shards {
 			for ci, h := range shard {
+				e.winHists[ci].Merge(h)
+				h.Reset()
+			}
+		}
+		if e.cohortShard != nil {
+			// The coalesced AddN deposits merge like one more worker
+			// shard: integer counts, so placement in the merge order
+			// cannot perturb the histograms.
+			for ci, h := range e.cohortShard {
 				e.winHists[ci].Merge(h)
 				h.Reset()
 			}

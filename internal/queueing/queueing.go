@@ -103,49 +103,25 @@ type Result struct {
 	Requests int
 }
 
-// minHeap is a float64 min-heap, used both for worker free times and for
-// the start times of queued requests. It is hand-rolled rather than built
-// on container/heap so the simulator's hot loop pays no interface boxing
-// allocations.
-type minHeap []float64
+// sortedRing keeps worker free times in ascending order in a flat slice:
+// the minimum is element 0 and a replaceMin is one rightward scan plus one
+// contiguous copy. Worker pools are small (≤ 16 threads for every modelled
+// service), so the copy is a cache-line-friendly shuffle that beats a
+// binary heap's branchy sift — and min-selection over a totally ordered
+// multiset is the same value whatever structure maintains it, so results
+// stay bit-identical to the heap this replaces.
+type sortedRing []float64
 
-func (h *minHeap) push(x float64) {
-	*h = append(*h, x)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if s[p] <= s[i] {
-			break
-		}
-		s[p], s[i] = s[i], s[p]
-		i = p
-	}
-}
-
-func (h *minHeap) popMin() float64 {
-	s := *h
+// replaceMin removes the minimum (element 0) and inserts v in order,
+// returning the removed minimum.
+func (s sortedRing) replaceMin(v float64) float64 {
 	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && s[l] < s[small] {
-			small = l
-		}
-		if r < n && s[r] < s[small] {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		s[i], s[small] = s[small], s[i]
-		i = small
+	j := len(s)
+	for j > 1 && s[j-1] > v {
+		j--
 	}
+	copy(s[0:], s[1:j])
+	s[j-1] = v
 	return top
 }
 
@@ -161,10 +137,15 @@ type Simulator struct {
 	// A bare equality check would not do: the zero Simulator's zero cfg
 	// must still be rejected until a Validate has actually run.
 	validated bool
-	workers   minHeap
-	waiting   minHeap
-	lat       *stats.Sample
-	hist      *stats.Histogram
+	workers   sortedRing
+	// waiting holds start times of queued requests, drained from waitHead
+	// and appended at the back. FCFS start times are nondecreasing (both
+	// arguments of the max() that assigns them are), so a FIFO ring visits
+	// them in exactly the min-first order the former heap did.
+	waiting  []float64
+	waitHead int
+	lat      *stats.Sample
+	hist     *stats.Histogram
 	// arrGaps/arrHeads buffer batched (inter-arrival gap, burst head) draw
 	// pairs from the arrival stream, refilled in blocks so the hot loop
 	// amortises the per-draw call overhead. Consumption order is identical
@@ -230,14 +211,23 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 	// workers, assigning each request to the earliest-free worker in
 	// arrival order is exactly FCFS.
 	if cap(s.workers) < cfg.Workers {
-		s.workers = make(minHeap, cfg.Workers)
+		s.workers = make(sortedRing, cfg.Workers)
 	} else {
 		s.workers = s.workers[:cfg.Workers]
 		for i := range s.workers {
 			s.workers[i] = 0
 		}
 	}
-	workers := &s.workers
+	workers := s.workers
+
+	// Service-draw constants hoisted out of the per-request LogNormal:
+	// sigma², mu and sqrt(sigma²) depend only on (MeanServiceMs, ServiceCV),
+	// so folding them keeps every draw bit-identical — same expression,
+	// same evaluation order — while shedding two Logs and a Sqrt per
+	// request from the hot loop.
+	svcSigma2 := math.Log(1 + cfg.ServiceCV*cfg.ServiceCV)
+	svcMu := math.Log(cfg.MeanServiceMs) - svcSigma2/2
+	svcSig := math.Sqrt(svcSigma2)
 
 	meanGapMs := 1000 / ratePerSec
 	now := 0.0 // arrival clock, ms
@@ -269,26 +259,29 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 	// Arrival draws are consumed from a block-refilled buffer: one
 	// (gap, head) pair per burst head, in exactly the order the unbatched
 	// loop drew them, so results stay bit-identical while the hot loop
-	// sheds most of the per-draw call overhead.
+	// sheds most of the per-draw call overhead. Each refill is sized to
+	// the requests still outstanding — an upper bound on the arrival draws
+	// they can consume — so a short simulation (the fleet's per-window
+	// budget) never pays for draws past its last arrival.
 	if s.arrGaps == nil {
 		s.arrGaps = make([]float64, arrivalBatch)
 		s.arrHeads = make([]bool, arrivalBatch)
 	}
-	arrPos := arrivalBatch // empty: first use triggers a refill
+	arrPos, arrLen := 0, 0 // empty: first use triggers a refill
 
-	// waiting holds the start times of requests that have arrived but not
-	// yet begun service. Draining it as the arrival clock advances tracks
-	// the queue depth incrementally — O(log n) amortised per request —
-	// instead of rescanning the whole worker heap on every arrival.
 	s.waiting = s.waiting[:0]
-	waiting := &s.waiting
+	s.waitHead = 0
 
 	for i := 0; i < nRequests; i++ {
 		if pending > 0 {
 			pending--
 		} else {
-			if arrPos == arrivalBatch {
-				arr.FillArrivals(s.arrGaps, s.arrHeads, meanGapMs, cfg.BurstProb)
+			if arrPos == arrLen {
+				arrLen = nRequests - i
+				if arrLen > arrivalBatch {
+					arrLen = arrivalBatch
+				}
+				arr.FillArrivals(s.arrGaps[:arrLen], s.arrHeads[:arrLen], meanGapMs, cfg.BurstProb)
 				arrPos = 0
 			}
 			now += s.arrGaps[arrPos]
@@ -300,24 +293,23 @@ func (s *Simulator) Simulate(ratePerSec float64, nRequests int, perfFactor float
 			}
 			arrPos++
 		}
-		free := workers.popMin()
-		start := free
+		start := workers[0]
 		if now > start {
 			start = now
 		}
-		svcMs := svc.LogNormal(cfg.MeanServiceMs, cfg.ServiceCV) / perfFactor
+		svcMs := math.Exp(svcMu+svcSig*svc.Normal()) / perfFactor
 		finish := start + svcMs
-		workers.push(finish)
+		workers.replaceMin(finish)
 
 		// Queue depth: drop requests that started by `now`, then count
 		// this one if it has to wait.
-		for len(*waiting) > 0 && (*waiting)[0] <= now {
-			waiting.popMin()
+		for s.waitHead < len(s.waiting) && s.waiting[s.waitHead] <= now {
+			s.waitHead++
 		}
 		if start > now {
-			waiting.push(start)
-			if len(*waiting) > maxQ {
-				maxQ = len(*waiting)
+			s.waiting = append(s.waiting, start)
+			if q := len(s.waiting) - s.waitHead; q > maxQ {
+				maxQ = q
 			}
 		}
 		if i >= warm {

@@ -1,0 +1,106 @@
+package queueing
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTailCacheRoundTrip(t *testing.T) {
+	c := NewTailCache(1024)
+	k := TailKey{Service: 3, Rate: math.Float64bits(120.5), Perf: math.Float64bits(0.93)}
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	if !c.Insert(k, 7.25) {
+		t.Fatal("first insert not reported as new")
+	}
+	if c.Insert(k, 7.25) {
+		t.Fatal("second insert of same key reported as new")
+	}
+	v, ok := c.Lookup(k)
+	if !ok || v != 7.25 {
+		t.Fatalf("lookup = (%v, %v), want (7.25, true)", v, ok)
+	}
+}
+
+func TestTailCacheStoresNaNRefusals(t *testing.T) {
+	c := NewTailCache(64)
+	k := TailKey{Service: 1, Rate: 42, Perf: 42}
+	c.Insert(k, math.NaN())
+	v, ok := c.Lookup(k)
+	if !ok || !math.IsNaN(v) {
+		t.Fatalf("cached refusal lookup = (%v, %v), want (NaN, true)", v, ok)
+	}
+}
+
+// TestTailCacheHotKeySurvivesEvictionStorm is the regression test for the
+// old wholesale-clear eviction: a key that keeps being looked up must stay
+// resident while a storm of cold keys (far exceeding total capacity)
+// churns through the cache. The generational scheme guarantees this as
+// long as the hot key is touched at least once per stripe rotation; the
+// storm below re-touches it every few inserts, well inside that bound.
+func TestTailCacheHotKeySurvivesEvictionStorm(t *testing.T) {
+	const capacity = 1024
+	c := NewTailCache(capacity)
+	hot := TailKey{Service: 0, Rate: math.Float64bits(500.0), Perf: math.Float64bits(1.0)}
+	c.Insert(hot, 3.5)
+	for i := 0; i < 50*capacity; i++ {
+		c.Insert(TailKey{Service: 9, Rate: uint64(i), Perf: uint64(i * 3)}, float64(i))
+		if i%4 == 0 {
+			if _, ok := c.Lookup(hot); !ok {
+				t.Fatalf("hot key evicted after %d cold inserts", i+1)
+			}
+		}
+	}
+	if v, ok := c.Lookup(hot); !ok || v != 3.5 {
+		t.Fatalf("after storm: lookup = (%v, %v), want (3.5, true)", v, ok)
+	}
+}
+
+// A cold key, inserted once and never touched again, must eventually age
+// out — the cache is bounded, not append-only.
+func TestTailCacheColdKeyAgesOut(t *testing.T) {
+	const capacity = 256
+	c := NewTailCache(capacity)
+	cold := TailKey{Service: 2, Rate: 11, Perf: 13}
+	c.Insert(cold, 1.0)
+	for i := 0; i < 50*capacity; i++ {
+		c.Insert(TailKey{Service: 9, Rate: uint64(i), Perf: uint64(i * 7)}, float64(i))
+	}
+	if _, ok := c.Lookup(cold); ok {
+		t.Fatal("cold key still resident after 50x-capacity churn")
+	}
+}
+
+// First-insert accounting must stay exact under concurrency: N goroutines
+// racing to insert the same keys report exactly one "new" per key between
+// them. The fleet's AnalyticSolves counter depends on this.
+func TestTailCacheConcurrentFirstInsert(t *testing.T) {
+	const keys = 512
+	c := NewTailCache(8 * keys)
+	var wg sync.WaitGroup
+	counts := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := TailKey{Service: 5, Rate: uint64(i), Perf: uint64(i)}
+				if _, ok := c.Lookup(k); !ok {
+					if c.Insert(k, float64(i)) {
+						counts[g]++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != keys {
+		t.Fatalf("first-insert count = %d, want %d", total, keys)
+	}
+}

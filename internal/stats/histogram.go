@@ -137,8 +137,13 @@ func (h *Histogram) bucket(x float64) int {
 		return len(h.counts) - 1
 	}
 	// x/min = f × 2^e with f in [0.5, 1): octave e-1, linear sub-bucket
-	// from the mantissa — no Log call on the hot path.
-	f, e := math.Frexp(x / h.min)
+	// from the mantissa — no Log call on the hot path. The ratio is ≥ 1
+	// (x ≥ min) and < max/min, so it is always a positive normal float and
+	// Frexp reduces to reading the exponent field and forcing it to 2^-1 —
+	// the same (f, e) Frexp returns, without its subnormal normalisation.
+	b := math.Float64bits(x / h.min)
+	e := int(b>>52) - 1022
+	f := math.Float64frombits(b&(1<<52-1) | 0x3fe<<52)
 	sub := int((f*2 - 1) * float64(h.perOctave))
 	if sub >= h.perOctave { // guard the f→1 rounding edge
 		sub = h.perOctave - 1
